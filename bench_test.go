@@ -1,0 +1,246 @@
+package pds
+
+// One benchmark per table/figure of the paper's evaluation. Each
+// iteration runs the figure's experiment on the deterministic simulator
+// and reports the §VI-A metrics (recall, latency in virtual seconds,
+// overhead in MB) via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation in summary form. The benchmarks use
+// one run per point and scaled-down item sizes to keep wall time
+// tolerable; cmd/pds-bench runs the full-size versions and prints the
+// complete series.
+
+import (
+	"testing"
+
+	"pds/internal/metrics"
+	"pds/internal/mobility"
+	"pds/internal/scenario"
+)
+
+// reportSeries condenses a series into benchmark metrics: the first and
+// last points' recall/latency/overhead (enough to see level and trend).
+func reportSeries(b *testing.B, s *metrics.Series, prefix string) {
+	b.Helper()
+	if len(s.Points) == 0 {
+		return
+	}
+	first, last := s.Points[0].Sample, s.Points[len(s.Points)-1].Sample
+	b.ReportMetric(first.Recall, prefix+"recall_first")
+	b.ReportMetric(last.Recall, prefix+"recall_last")
+	b.ReportMetric(first.Latency.Seconds(), prefix+"lat_s_first")
+	b.ReportMetric(last.Latency.Seconds(), prefix+"lat_s_last")
+	b.ReportMetric(float64(first.OverheadBytes)/1e6, prefix+"ovh_MB_first")
+	b.ReportMetric(float64(last.OverheadBytes)/1e6, prefix+"ovh_MB_last")
+}
+
+// BenchmarkFig03SingleHopReception regenerates Figure 3: reception of
+// raw UDP vs leaky bucket vs bucket+ack at 1–4 concurrent senders.
+func BenchmarkFig03SingleHopReception(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := scenario.Fig03SingleHopReception(1, 1)
+		if i == 0 {
+			b.ReportMetric(series[0].Points[3].Sample.Recall, "raw_recall_4snd")
+			b.ReportMetric(series[1].Points[3].Sample.Recall, "bucket_recall_4snd")
+			b.ReportMetric(series[2].Points[3].Sample.Recall, "ack_recall_4snd")
+		}
+	}
+}
+
+// BenchmarkTabLeakyBucketSweep regenerates the §V-2 LeakingRate sweep.
+func BenchmarkTabLeakyBucketSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.TabLeakyBucketSweep(1, 1)
+		if i == 0 {
+			reportSeries(b, s, "")
+		}
+	}
+}
+
+// BenchmarkTabAckSweep regenerates the §V-1 RetrTimeout/MaxRetrTime
+// sweeps.
+func BenchmarkTabAckSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := scenario.TabAckSweep(1, 1)
+		if i == 0 {
+			reportSeries(b, series[0], "timeout_")
+			reportSeries(b, series[1], "retries_")
+		}
+	}
+}
+
+// BenchmarkFig04SaturationSweep regenerates the §VI-B saturation
+// observation (single-round no-ack recall vs metadata amount).
+func BenchmarkFig04SaturationSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := scenario.SaturationSweep(1, 1)
+		if i == 0 {
+			reportSeries(b, series[0], "red1_")
+			reportSeries(b, series[1], "red2_")
+		}
+	}
+}
+
+// BenchmarkFig04HopCount regenerates Figure 4: single-round PDD vs max
+// hop count.
+func BenchmarkFig04HopCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.Fig04HopCount(1, 1)
+		if i == 0 {
+			reportSeries(b, s, "")
+		}
+	}
+}
+
+// BenchmarkFig05MultiRound regenerates Figure 5: recall vs T and T_d.
+func BenchmarkFig05MultiRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := scenario.Fig05MultiRound(1, 1)
+		if i == 0 {
+			reportSeries(b, series[0], "td0_")
+			reportSeries(b, series[len(series)-1], "td3_")
+		}
+	}
+}
+
+// BenchmarkFig06MetadataAmount regenerates Figure 6: PDD vs metadata
+// amount 5k–20k.
+func BenchmarkFig06MetadataAmount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.Fig06MetadataAmount(1, 1)
+		if i == 0 {
+			reportSeries(b, s, "")
+		}
+	}
+}
+
+// BenchmarkFig07SequentialConsumers regenerates Figure 7.
+func BenchmarkFig07SequentialConsumers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.Fig07SequentialConsumers(1, 1)
+		if i == 0 {
+			reportSeries(b, s, "")
+		}
+	}
+}
+
+// BenchmarkFig08SimultaneousConsumers regenerates Figure 8.
+func BenchmarkFig08SimultaneousConsumers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.Fig08SimultaneousConsumers(1, 1)
+		if i == 0 {
+			reportSeries(b, s, "")
+		}
+	}
+}
+
+// BenchmarkFig09Fig10MobilityPDD regenerates Figures 9/10: PDD under
+// Student Center mobility, rates ×0.5–×2.
+func BenchmarkFig09Fig10MobilityPDD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.Fig0910MobilityPDD(mobility.StudentCenter(), 1, 1)
+		if i == 0 {
+			reportSeries(b, s, "")
+		}
+	}
+}
+
+// BenchmarkFig11DataItemSize regenerates Figure 11: PDR vs item size
+// 1–20 MB.
+func BenchmarkFig11DataItemSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.Fig11DataItemSize(1, 1)
+		if i == 0 {
+			reportSeries(b, s, "")
+		}
+	}
+}
+
+// BenchmarkFig12MobilityPDR regenerates Figure 12 (5 MB item to bound
+// bench time; pds-bench runs 20 MB).
+func BenchmarkFig12MobilityPDR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.Fig12MobilityPDR(mobility.StudentCenter(), 5, 1, 1)
+		if i == 0 {
+			reportSeries(b, s, "")
+		}
+	}
+}
+
+// BenchmarkFig13Fig14Redundancy regenerates Figures 13/14: PDR vs MDR
+// across chunk redundancy (5 MB item here; pds-bench runs 20 MB).
+func BenchmarkFig13Fig14Redundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := scenario.Fig1314Redundancy(5, 1, 1)
+		if i == 0 {
+			reportSeries(b, series[0], "pdr_")
+			reportSeries(b, series[1], "mdr_")
+		}
+	}
+}
+
+// BenchmarkFig15PDRSequential regenerates Figure 15 (5 MB item).
+func BenchmarkFig15PDRSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.Fig15PDRSequential(5, 1, 1)
+		if i == 0 {
+			reportSeries(b, s, "")
+		}
+	}
+}
+
+// BenchmarkFig16PDRSimultaneous regenerates Figure 16 (5 MB item).
+func BenchmarkFig16PDRSimultaneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.Fig16PDRSimultaneous(5, 1, 1)
+		if i == 0 {
+			reportSeries(b, s, "")
+		}
+	}
+}
+
+// BenchmarkAblationOneShotInterest measures PDD with lingering queries
+// disabled (CCN/NDN-style one-shot Interests) against the baseline.
+func BenchmarkAblationOneShotInterest(b *testing.B) {
+	benchAblation(b, "one-shot interests")
+}
+
+// BenchmarkAblationNoMixedcast measures PDD with mixedcast joining
+// disabled (one response per matching query).
+func BenchmarkAblationNoMixedcast(b *testing.B) {
+	benchAblation(b, "no mixedcast")
+}
+
+// BenchmarkAblationNoRewrite measures PDD without Bloom-filter
+// redundancy detection and en-route rewriting.
+func BenchmarkAblationNoRewrite(b *testing.B) {
+	benchAblation(b, "no bloom rewrite")
+}
+
+func benchAblation(b *testing.B, variant string) {
+	b.Helper()
+	// 800 entries keep the slow variants (no-Bloom deliberately floods)
+	// within benchmark budgets; pds-bench ablation runs the full load.
+	for i := 0; i < b.N; i++ {
+		base := scenario.AblationOne("baseline", 800, 1, 1)
+		ablated := scenario.AblationOne(variant, 800, 1, 1)
+		if i == 0 {
+			reportSeries(b, base, "base_")
+			reportSeries(b, ablated, "ablated_")
+		}
+	}
+}
+
+// BenchmarkAblationNearestOnly measures PDR with the min-max load
+// balancing of §IV-B replaced by always-nearest assignment.
+func BenchmarkAblationNearestOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := scenario.AblationNearestOnly(5, 1, 1)
+		if i == 0 {
+			reportSeries(b, series[0], "balanced_")
+			reportSeries(b, series[1], "nearest_")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Command pds-bench regenerates every table and figure of the paper's
+// evaluation (§V-4, §VI-B) on the simulated medium and prints the
+// series. Each figure is a sub-command; `all` runs the full set.
+//
+// Usage:
+//
+//	pds-bench [-seed N] [-runs N] [-size MB] <figure>
+//
+// where <figure> is one of: fig3, fig4, fig5, fig6, fig7, fig8, fig9,
+// fig9class, fig11, fig12, fig12class, fig13, fig15, fig16, saturation,
+// leaky, ack, ablation, balance, cache, all.
+//
+// Absolute numbers come from this repository's radio model, not the
+// authors' testbed; EXPERIMENTS.md records how the shapes compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pds/internal/metrics"
+	"pds/internal/mobility"
+	"pds/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pds-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pds-bench", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "base random seed")
+	runs := fs.Int("runs", 3, "runs to average per point (paper: 5)")
+	sizeMB := fs.Int("size", 20, "item size in MB for retrieval figures")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected one figure name, got %d args", fs.NArg())
+	}
+	name := fs.Arg(0)
+
+	figures := []struct {
+		name string
+		desc string
+		run  func()
+	}{
+		{"fig3", "Figure 3: single-hop reception (raw / bucket / bucket+ack)", func() {
+			for _, s := range scenario.Fig03SingleHopReception(*seed, *runs) {
+				fmt.Println(s)
+			}
+		}},
+		{"leaky", "§V-2: leaky bucket LeakingRate sweep", func() {
+			fmt.Println(scenario.TabLeakyBucketSweep(*seed, *runs))
+		}},
+		{"ack", "§V-1: RetrTimeout / MaxRetrTime sweeps", func() {
+			for _, s := range scenario.TabAckSweep(*seed, *runs) {
+				fmt.Println(s)
+			}
+		}},
+		{"saturation", "§VI-B: single-round no-ack recall vs metadata amount", func() {
+			for _, s := range scenario.SaturationSweep(*seed, *runs) {
+				fmt.Println(s)
+			}
+		}},
+		{"fig4", "Figure 4: single-round PDD vs max hop count", func() {
+			fmt.Println(scenario.Fig04HopCount(*seed, *runs))
+		}},
+		{"fig5", "Figure 5: multi-round recall vs T and T_d", func() {
+			for _, s := range scenario.Fig05MultiRound(*seed, *runs) {
+				fmt.Println(s)
+			}
+		}},
+		{"fig6", "Figure 6: multi-round PDD vs metadata amount", func() {
+			fmt.Println(scenario.Fig06MetadataAmount(*seed, *runs))
+		}},
+		{"fig7", "Figure 7: sequential consumers", func() {
+			fmt.Println(scenario.Fig07SequentialConsumers(*seed, *runs))
+		}},
+		{"fig8", "Figure 8: simultaneous consumers", func() {
+			fmt.Println(scenario.Fig08SimultaneousConsumers(*seed, *runs))
+		}},
+		{"fig9", "Figures 9/10: PDD under Student Center mobility", func() {
+			fmt.Println(scenario.Fig0910MobilityPDD(mobility.StudentCenter(), *seed, *runs))
+		}},
+		{"fig9class", "Figures 9/10 (classroom variant, §VI-B.2 'similar results')", func() {
+			fmt.Println(scenario.Fig0910MobilityPDD(mobility.Classroom(), *seed, *runs))
+		}},
+		{"fig11", "Figure 11: PDR vs item size", func() {
+			fmt.Println(scenario.Fig11DataItemSize(*seed, *runs))
+		}},
+		{"fig12", "Figure 12: PDR under Student Center mobility", func() {
+			fmt.Println(scenario.Fig12MobilityPDR(mobility.StudentCenter(), *sizeMB, *seed, *runs))
+		}},
+		{"fig12class", "Figure 12 (classroom variant)", func() {
+			fmt.Println(scenario.Fig12MobilityPDR(mobility.Classroom(), *sizeMB, *seed, *runs))
+		}},
+		{"fig13", "Figures 13/14: PDR vs MDR across chunk redundancy", func() {
+			for _, s := range scenario.Fig1314Redundancy(*sizeMB, *seed, *runs) {
+				fmt.Println(s)
+			}
+		}},
+		{"fig15", "Figure 15: PDR sequential consumers", func() {
+			fmt.Println(scenario.Fig15PDRSequential(*sizeMB, *seed, *runs))
+		}},
+		{"fig16", "Figure 16: PDR simultaneous consumers", func() {
+			fmt.Println(scenario.Fig16PDRSimultaneous(*sizeMB, *seed, *runs))
+		}},
+		{"ablation", "Ablations: one-shot interests / no mixedcast / no bloom", func() {
+			series := scenario.Ablation(*seed, *runs)
+			fmt.Println(metrics.Table("recall", series...))
+			fmt.Println(metrics.Table("latency", series...))
+			fmt.Println(metrics.Table("overhead", series...))
+		}},
+		{"balance", "Ablation: min-max balancing vs nearest-only", func() {
+			series := scenario.AblationNearestOnly(*sizeMB, *seed, *runs)
+			fmt.Println(metrics.Table("latency", series...))
+			fmt.Println(metrics.Table("overhead", series...))
+		}},
+		{"cache", "Ablation: cache eviction policies (FIFO/LRU/LFU, §VII)", func() {
+			series := scenario.CachePolicyAblation(3, *seed, *runs)
+			fmt.Println(metrics.Table("recall", series...))
+			fmt.Println(metrics.Table("latency", series...))
+			fmt.Println(metrics.Table("overhead", series...))
+		}},
+	}
+
+	if name == "all" {
+		start := time.Now()
+		for _, f := range figures {
+			fmt.Printf("==== %s ====\n", f.desc)
+			f.run()
+			fmt.Println()
+		}
+		fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+		return nil
+	}
+	for _, f := range figures {
+		if f.name == name {
+			fmt.Printf("==== %s ====\n", f.desc)
+			f.run()
+			return nil
+		}
+	}
+	known := make([]string, 0, len(figures))
+	for _, f := range figures {
+		known = append(known, f.name)
+	}
+	return fmt.Errorf("unknown figure %q (try: all, %s)", name, strings.Join(known, ", "))
+}

@@ -1,0 +1,184 @@
+// Command pds-node runs a real PDS peer over UDP, sharing files and
+// notes with other pds-node instances on the same LAN (broadcast mode)
+// or the same machine (loopback mode).
+//
+// Examples:
+//
+//	# share a file on the LAN and serve discovery
+//	pds-node -port 9753 -share ./sunset.jpg -name sunset.jpg -stay 10m
+//
+//	# on another machine: see what exists, then fetch it
+//	pds-node -port 9753 -discover
+//	pds-node -port 9753 -fetch sunset.jpg -out ./sunset.jpg
+//
+//	# loopback demo: three terminals on one machine
+//	pds-node -listen 127.0.0.1:9701 -peers 9701,9702,9703 -share go.mod -name go.mod -stay 5m
+//	pds-node -listen 127.0.0.1:9702 -peers 9701,9702,9703 -discover
+//	pds-node -listen 127.0.0.1:9703 -peers 9701,9702,9703 -fetch go.mod -out /tmp/got.mod
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pds"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pds-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pds-node", flag.ContinueOnError)
+	port := fs.Int("port", 9753, "UDP broadcast port (LAN mode)")
+	listen := fs.String("listen", "", "explicit listen address (loopback mode), e.g. 127.0.0.1:9701")
+	peers := fs.String("peers", "", "comma-separated loopback peer ports (loopback mode)")
+	share := fs.String("share", "", "path of a file to publish")
+	name := fs.String("name", "", "name attribute for the shared file (default: the path)")
+	namespace := fs.String("namespace", "files", "namespace attribute")
+	discover := fs.Bool("discover", false, "discover nearby items and exit")
+	fetch := fs.String("fetch", "", "retrieve the item with this name")
+	out := fs.String("out", "", "output path for -fetch (default: stdout byte count only)")
+	stay := fs.Duration("stay", time.Minute, "how long to keep serving after -share")
+	timeout := fs.Duration("timeout", 2*time.Minute, "discovery/retrieval budget")
+	id := fs.Uint("id", 0, "node id (0 = random)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		trans pds.Transport
+		err   error
+	)
+	if *listen != "" || *peers != "" {
+		ownPort, peerPorts, perr := parseLoopback(*listen, *peers)
+		if perr != nil {
+			return perr
+		}
+		trans, err = pds.NewLoopbackTransport(ownPort, peerPorts)
+	} else {
+		trans, err = pds.NewUDPTransport(*port)
+	}
+	if err != nil {
+		return err
+	}
+
+	var opts []pds.NodeOption
+	if *id != 0 {
+		opts = append(opts, pds.WithNodeID(pds.NodeID(*id)))
+	}
+	node, err := pds.NewNode(trans, opts...)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("node %d up\n", node.ID())
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *share != "" {
+		payload, err := os.ReadFile(*share)
+		if err != nil {
+			return err
+		}
+		label := *name
+		if label == "" {
+			label = *share
+		}
+		desc := pds.NewDescriptor().
+			Set(pds.AttrNamespace, pds.String(*namespace)).
+			Set(pds.AttrDataType, pds.String("file")).
+			Set(pds.AttrName, pds.String(label)).
+			Set(pds.AttrTime, pds.Time(time.Now()))
+		desc = node.PublishItem(desc, payload, pds.DefaultChunkSize)
+		fmt.Printf("sharing %q: %d bytes, %d chunks; serving for %v\n",
+			label, len(payload), desc.TotalChunks(), *stay)
+		time.Sleep(*stay)
+		return nil
+	}
+
+	if *discover {
+		entries, err := node.Discover(ctx, pds.NewQuery(
+			pds.Exists(pds.AttrName), pds.NotExists(pds.AttrChunkID)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d items nearby:\n", len(entries))
+		for _, e := range entries {
+			fmt.Printf("  %s/%s %q (%d chunks)\n",
+				e.Namespace(), e.DataType(), e.Name(), e.TotalChunks())
+		}
+		return nil
+	}
+
+	if *fetch != "" {
+		entries, err := node.Discover(ctx, pds.NewQuery(
+			pds.Eq(pds.AttrName, pds.String(*fetch)),
+			pds.NotExists(pds.AttrChunkID)))
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			return fmt.Errorf("no item named %q found nearby", *fetch)
+		}
+		data, err := node.Retrieve(ctx, entries[0])
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("retrieved %q: %d bytes -> %s\n", *fetch, len(data), *out)
+		} else {
+			fmt.Printf("retrieved %q: %d bytes\n", *fetch, len(data))
+		}
+		return nil
+	}
+
+	fmt.Println("nothing to do: pass -share, -discover or -fetch")
+	return nil
+}
+
+func parseLoopback(listen, peers string) (int, []int, error) {
+	ownPort := 0
+	if listen != "" {
+		idx := strings.LastIndex(listen, ":")
+		if idx < 0 {
+			return 0, nil, fmt.Errorf("bad -listen %q", listen)
+		}
+		p, err := strconv.Atoi(listen[idx+1:])
+		if err != nil {
+			return 0, nil, fmt.Errorf("bad -listen port: %w", err)
+		}
+		ownPort = p
+	}
+	var peerPorts []int
+	for _, s := range strings.Split(peers, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		p, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, nil, fmt.Errorf("bad peer port %q: %w", s, err)
+		}
+		peerPorts = append(peerPorts, p)
+	}
+	if ownPort == 0 && len(peerPorts) > 0 {
+		ownPort = peerPorts[0]
+	}
+	if ownPort == 0 {
+		return 0, nil, fmt.Errorf("loopback mode needs -listen or -peers")
+	}
+	return ownPort, peerPorts, nil
+}

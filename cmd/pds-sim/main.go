@@ -1,0 +1,140 @@
+// Command pds-sim runs one configurable PDS simulation and prints the
+// §VI-A metrics: recall, latency, message overhead and rounds.
+//
+// Examples:
+//
+//	pds-sim -mode pdd -rows 10 -cols 10 -entries 5000
+//	pds-sim -mode pdr -size 20 -redundancy 3
+//	pds-sim -mode mdr -size 5
+//	pds-sim -mode pdd -mobility student -scale 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pds/internal/core"
+	"pds/internal/link"
+	"pds/internal/mobility"
+	"pds/internal/scenario"
+	"pds/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pds-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pds-sim", flag.ContinueOnError)
+	mode := fs.String("mode", "pdd", "experiment: pdd | pdr | mdr")
+	rows := fs.Int("rows", 10, "grid rows")
+	cols := fs.Int("cols", 10, "grid cols")
+	entries := fs.Int("entries", 5000, "distinct metadata entries (pdd)")
+	redundancy := fs.Int("redundancy", 1, "copies of each entry/chunk")
+	sizeMB := fs.Int("size", 20, "item size in MB (pdr/mdr)")
+	seed := fs.Int64("seed", 1, "random seed")
+	mob := fs.String("mobility", "", "mobility profile: student | classroom (empty = static grid)")
+	scale := fs.Float64("scale", 1.0, "mobility rate scale")
+	deadline := fs.Duration("deadline", 15*time.Minute, "virtual-time budget")
+	singleRound := fs.Bool("single-round", false, "limit PDD to one round")
+	noAck := fs.Bool("no-ack", false, "disable per-hop ack/retransmission")
+	trace := fs.Bool("trace", false, "print every transmission (virtual time, sender, type, size)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := scenario.Options{Seed: *seed}
+	if *singleRound || *noAck {
+		c := core.DefaultConfig()
+		if *singleRound {
+			c.MaxRounds = 1
+		}
+		opts.Core = c
+		if *noAck {
+			l := link.DefaultConfig(nil)
+			l.AckEnabled = false
+			opts.Link = l
+			opts.LinkConfigured = true
+		}
+	}
+
+	var (
+		d        *scenario.Deployment
+		consumer = scenario.CenterID(*rows, *cols)
+	)
+	if *mob != "" {
+		var p mobility.Profile
+		switch *mob {
+		case "student":
+			p = mobility.StudentCenter()
+		case "classroom":
+			p = mobility.Classroom()
+		default:
+			return fmt.Errorf("unknown mobility profile %q", *mob)
+		}
+		dep, initial := scenario.MobileArea(p.Scale(*scale), 30*time.Minute, opts)
+		d = dep
+		consumer = initial[len(initial)/2]
+	} else {
+		d = scenario.Grid(*rows, *cols, scenario.GridSpacing, opts)
+	}
+
+	if *trace {
+		d.Medium.OnTransmit = func(from wire.NodeID, msg *wire.Message, size int) {
+			kind := ""
+			switch {
+			case msg.Query != nil:
+				kind = "/" + msg.Query.Kind.String()
+			case msg.Response != nil:
+				kind = "/" + msg.Response.Kind.String()
+			case msg.Fragment != nil:
+				kind = fmt.Sprintf("/frag %d/%d", msg.Fragment.Index+1, msg.Fragment.Count)
+			}
+			fmt.Printf("%12s node %3d tx %s%s %dB -> %v\n",
+				d.Eng.Now().Round(time.Microsecond), from, msg.Type, kind, size, msg.Receivers())
+		}
+	}
+
+	start := time.Now()
+	switch *mode {
+	case "pdd":
+		if *mob != "" {
+			// Spread entries over the initially present nodes.
+			ids := d.Medium.NodeIDs()
+			for i := 0; i < *entries; i++ {
+				id := ids[i%len(ids)]
+				d.Peers[id].Node.PublishEntry(scenario.EntryDescriptor(i))
+			}
+		} else {
+			d.DistributeEntries(*entries, *redundancy)
+		}
+		res, done := d.RunDiscovery(consumer, scenario.EntrySelector(), core.DiscoverOptions{}, *deadline)
+		fmt.Printf("mode=pdd done=%v recall=%.3f latency=%.1fs rounds=%d overhead=%.2fMB wall=%v\n",
+			done, float64(len(res.Entries))/float64(*entries), res.Latency.Seconds(), res.Rounds,
+			float64(d.Medium.Stats().TxBytes)/1e6, time.Since(start).Round(time.Millisecond))
+	case "pdr", "mdr":
+		item := scenario.ItemDescriptor("clip", *sizeMB<<20, scenario.DefaultChunkSize)
+		item = d.DistributeChunks(item, scenario.DefaultChunkSize, *redundancy, consumer)
+		var (
+			res  core.RetrievalResult
+			done bool
+		)
+		if *mode == "pdr" {
+			res, done = d.RunRetrieval(consumer, item, *deadline)
+		} else {
+			res, done = d.RunMDR(consumer, item, *deadline)
+		}
+		fmt.Printf("mode=%s done=%v complete=%v chunks=%d/%d latency=%.1fs cdi=%.1fs rounds=%d overhead=%.2fMB wall=%v\n",
+			*mode, done, res.Complete, len(res.Chunks), item.TotalChunks(),
+			res.Latency.Seconds(), res.CDILatency.Seconds(), res.Rounds,
+			float64(d.Medium.Stats().TxBytes)/1e6, time.Since(start).Round(time.Millisecond))
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Quickstart: two in-process PDS nodes share data over the in-memory
+// hub. One publishes a sensor reading and a photo; the other discovers
+// what exists nearby, collects the small reading and retrieves the
+// photo chunk by chunk.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pds"
+)
+
+func main() {
+	hub := pds.NewChanHub()
+
+	producer, err := pds.NewNode(hub.Attach(), pds.WithNodeID(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer producer.Close()
+
+	consumer, err := pds.NewNode(hub.Attach(), pds.WithNodeID(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer consumer.Close()
+
+	// A small sensor sample: descriptor + payload.
+	sample := pds.NewDescriptor().
+		Set(pds.AttrNamespace, pds.String("env")).
+		Set(pds.AttrDataType, pds.String("nox")).
+		Set(pds.AttrName, pds.String("sample-001")).
+		Set(pds.AttrTime, pds.Time(time.Now()))
+	producer.Publish(sample, []byte("NOx=42ppb"))
+
+	// A larger item, split into chunks.
+	photo := make([]byte, 300_000)
+	for i := range photo {
+		photo[i] = byte(i)
+	}
+	photoDesc := producer.PublishItem(
+		pds.NewDescriptor().
+			Set(pds.AttrNamespace, pds.String("media")).
+			Set(pds.AttrDataType, pds.String("photo")).
+			Set(pds.AttrName, pds.String("sunset.jpg")),
+		photo, pds.DefaultChunkSize)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// 1. Discover: what exists out there?
+	entries, err := consumer.Discover(ctx, pds.NewQuery(
+		pds.Exists(pds.AttrName), pds.NotExists(pds.AttrChunkID)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered %d entries:\n", len(entries))
+	for _, e := range entries {
+		fmt.Printf("  %s\n", e)
+	}
+
+	// 2. Collect the small samples.
+	payloads, descs, err := consumer.Collect(ctx, pds.NewQuery(
+		pds.Eq(pds.AttrNamespace, pds.String("env")),
+		pds.Eq(pds.AttrDataType, pds.String("nox")),
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range descs {
+		fmt.Printf("collected %s -> %q\n", d.Name(), payloads[d.Key()])
+	}
+
+	// 3. Retrieve the large item with two-phase PDR.
+	data, err := consumer.Retrieve(ctx, photoDesc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retrieved %s: %d bytes in %d chunks\n",
+		photoDesc.Name(), len(data), photoDesc.TotalChunks())
+}

@@ -1,0 +1,3 @@
+module pds
+
+go 1.22

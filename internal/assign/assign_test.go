@@ -1,0 +1,235 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pds/internal/wire"
+)
+
+func opts(pairs ...Option) []Option { return pairs }
+
+func TestBalanceAssignsEveryChunkOnce(t *testing.T) {
+	req := Request{
+		Chunks: []int{0, 1, 2, 3},
+		Options: [][]Option{
+			opts(Option{Neighbor: 1, Hop: 1}),
+			opts(Option{Neighbor: 1, Hop: 1}, Option{Neighbor: 2, Hop: 1}),
+			opts(Option{Neighbor: 2, Hop: 2}),
+			opts(Option{Neighbor: 1, Hop: 3}, Option{Neighbor: 3, Hop: 1}),
+		},
+	}
+	res := Balance(req)
+	seen := map[int]int{}
+	for nb, cs := range res.ByNeighbor {
+		for _, c := range cs {
+			seen[c]++
+			// Assignment must use one of the chunk's own options.
+			found := false
+			for i, ch := range req.Chunks {
+				if ch == c {
+					for _, o := range req.Options[i] {
+						if o.Neighbor == nb {
+							found = true
+						}
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("chunk %d assigned to non-option neighbor %d", c, nb)
+			}
+		}
+	}
+	for _, c := range req.Chunks {
+		if seen[c] != 1 {
+			t.Fatalf("chunk %d assigned %d times", c, seen[c])
+		}
+	}
+	if len(res.Unassigned) != 0 {
+		t.Fatalf("unassigned: %v", res.Unassigned)
+	}
+}
+
+func TestBalanceSpreadsTies(t *testing.T) {
+	// 6 chunks all available at hop 1 from neighbors 1 and 2: balancing
+	// should give 3 each, not 6 to one.
+	req := Request{Chunks: make([]int, 6), Options: make([][]Option, 6)}
+	for i := range req.Chunks {
+		req.Chunks[i] = i
+		req.Options[i] = opts(Option{Neighbor: 1, Hop: 1}, Option{Neighbor: 2, Hop: 1})
+	}
+	res := Balance(req)
+	if len(res.ByNeighbor[1]) != 3 || len(res.ByNeighbor[2]) != 3 {
+		t.Fatalf("unbalanced: %v", res.ByNeighbor)
+	}
+}
+
+func TestBalanceMovesOffHotNeighbor(t *testing.T) {
+	// Chunks 0-3 only at neighbor 1 (hop 1); chunk 4 at neighbor 1
+	// (hop 1) or neighbor 2 (hop 2). Moving chunk 4 to neighbor 2
+	// lowers the max load even though hop 2 > hop 1.
+	req := Request{
+		Chunks:  []int{0, 1, 2, 3, 4},
+		Options: make([][]Option, 5),
+	}
+	for i := 0; i < 4; i++ {
+		req.Options[i] = opts(Option{Neighbor: 1, Hop: 1})
+	}
+	req.Options[4] = opts(Option{Neighbor: 1, Hop: 1}, Option{Neighbor: 2, Hop: 2})
+	res := Balance(req)
+	if len(res.ByNeighbor[2]) != 1 || res.ByNeighbor[2][0] != 4 {
+		t.Fatalf("chunk 4 not moved to neighbor 2: %v", res.ByNeighbor)
+	}
+}
+
+func TestUnassignedChunks(t *testing.T) {
+	req := Request{
+		Chunks:  []int{7, 8},
+		Options: [][]Option{opts(Option{Neighbor: 1, Hop: 1}), nil},
+	}
+	res := Balance(req)
+	if len(res.Unassigned) != 1 || res.Unassigned[0] != 8 {
+		t.Fatalf("Unassigned = %v", res.Unassigned)
+	}
+}
+
+func TestEmptyRequest(t *testing.T) {
+	res := Balance(Request{})
+	if len(res.ByNeighbor) != 0 || len(res.Unassigned) != 0 || res.MaxLoad != 0 {
+		t.Fatalf("empty request gave %+v", res)
+	}
+}
+
+func TestNearestOnlyPicksMinHop(t *testing.T) {
+	req := Request{
+		Chunks: []int{0},
+		Options: [][]Option{opts(
+			Option{Neighbor: 3, Hop: 4},
+			Option{Neighbor: 2, Hop: 1},
+			Option{Neighbor: 1, Hop: 2},
+		)},
+	}
+	res := NearestOnly(req)
+	if len(res.ByNeighbor[2]) != 1 {
+		t.Fatalf("nearest-only picked %v", res.ByNeighbor)
+	}
+}
+
+func randomRequest(rng *rand.Rand) Request {
+	nChunks := 1 + rng.Intn(12)
+	nNeighbors := 1 + rng.Intn(5)
+	req := Request{Chunks: make([]int, nChunks), Options: make([][]Option, nChunks)}
+	for i := range req.Chunks {
+		req.Chunks[i] = i
+		for nb := 1; nb <= nNeighbors; nb++ {
+			if rng.Intn(2) == 0 {
+				req.Options[i] = append(req.Options[i], Option{
+					Neighbor: wire.NodeID(nb),
+					Hop:      1 + rng.Intn(5),
+				})
+			}
+		}
+	}
+	return req
+}
+
+// TestQuickInvariants property-tests that Balance always produces a
+// feasible assignment no worse than NearestOnly's max load.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		req := randomRequest(rng)
+		res := Balance(req)
+		naive := NearestOnly(req)
+
+		// Every chunk appears exactly once (assigned or unassigned).
+		count := make(map[int]int)
+		for nb, cs := range res.ByNeighbor {
+			for _, c := range cs {
+				count[c]++
+				// Eligibility check.
+				ok := false
+				for i, ch := range req.Chunks {
+					if ch == c {
+						for _, o := range req.Options[i] {
+							if o.Neighbor == nb {
+								ok = true
+							}
+						}
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		for _, c := range res.Unassigned {
+			count[c]++
+		}
+		for _, c := range req.Chunks {
+			if count[c] != 1 {
+				return false
+			}
+		}
+		// A chunk is unassigned iff it has no options.
+		for i, c := range req.Chunks {
+			hasOpts := len(req.Options[i]) > 0
+			unassigned := false
+			for _, u := range res.Unassigned {
+				if u == c {
+					unassigned = true
+				}
+			}
+			if hasOpts == unassigned {
+				return false
+			}
+		}
+		// The heuristic is greedy, so it cannot promise to beat the
+		// naive assignment on every adversarial input; it must however
+		// stay within one move's weight of it (each of its moves
+		// strictly lowered its own maximum, starting from a spread
+		// least-hop assignment).
+		maxWeight := 0
+		for i := range req.Chunks {
+			for _, o := range req.Options[i] {
+				if o.Hop+1 > maxWeight {
+					maxWeight = o.Hop + 1
+				}
+			}
+		}
+		return res.MaxLoad <= naive.MaxLoad+maxWeight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterministic property-tests that the heuristic is a pure
+// function of its input.
+func TestQuickDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		req := randomRequest(rng)
+		a := Balance(req)
+		b := Balance(req)
+		if len(a.ByNeighbor) != len(b.ByNeighbor) || a.MaxLoad != b.MaxLoad {
+			return false
+		}
+		for nb, cs := range a.ByNeighbor {
+			bs := b.ByNeighbor[nb]
+			if len(bs) != len(cs) {
+				return false
+			}
+			for i := range cs {
+				if cs[i] != bs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

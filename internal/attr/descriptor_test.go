@@ -1,0 +1,145 @@
+package attr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDescriptor() Descriptor {
+	return NewDescriptor().
+		Set(AttrNamespace, String("env")).
+		Set(AttrDataType, String("nox")).
+		Set(AttrName, String("s1")).
+		Set(AttrTime, Int(1600000000))
+}
+
+func TestDescriptorSetIsImmutable(t *testing.T) {
+	d := sampleDescriptor()
+	d2 := d.Set(AttrName, String("s2"))
+	if v, _ := d.Get(AttrName); v.StringVal() != "s1" {
+		t.Fatalf("original mutated: name=%v", v)
+	}
+	if v, _ := d2.Get(AttrName); v.StringVal() != "s2" {
+		t.Fatalf("copy not updated: name=%v", v)
+	}
+}
+
+func TestDescriptorAccessors(t *testing.T) {
+	d := sampleDescriptor()
+	if d.Namespace() != "env" || d.DataType() != "nox" || d.Name() != "s1" {
+		t.Fatalf("accessors wrong: %s %s %s", d.Namespace(), d.DataType(), d.Name())
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	names := d.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	if _, ok := d.Get("absent"); ok {
+		t.Fatal("Get(absent) reported present")
+	}
+}
+
+func TestChunkDescriptors(t *testing.T) {
+	item := sampleDescriptor().Set(AttrTotalChunks, Int(4))
+	if item.TotalChunks() != 4 {
+		t.Fatalf("TotalChunks = %d", item.TotalChunks())
+	}
+	if _, ok := item.ChunkID(); ok {
+		t.Fatal("item descriptor reports a chunk id")
+	}
+	c2 := item.WithChunk(2)
+	id, ok := c2.ChunkID()
+	if !ok || id != 2 {
+		t.Fatalf("ChunkID = %d,%v", id, ok)
+	}
+	back := c2.ItemDescriptor()
+	if !back.Equal(item) {
+		t.Fatalf("ItemDescriptor() != item: %s vs %s", back, item)
+	}
+	// ItemDescriptor of a chunkless descriptor is itself.
+	if !item.ItemDescriptor().Equal(item) {
+		t.Fatal("ItemDescriptor of item changed it")
+	}
+}
+
+func TestDescriptorKeyEquality(t *testing.T) {
+	a := sampleDescriptor()
+	b := NewDescriptor().
+		Set(AttrTime, Int(1600000000)).
+		Set(AttrName, String("s1")).
+		Set(AttrDataType, String("nox")).
+		Set(AttrNamespace, String("env"))
+	if a.Key() != b.Key() {
+		t.Fatal("same attributes in different insert order give different keys")
+	}
+	c := a.Set(AttrName, String("other"))
+	if a.Key() == c.Key() {
+		t.Fatal("different descriptors share a key")
+	}
+}
+
+func randomDescriptor(rng *rand.Rand) Descriptor {
+	d := NewDescriptor()
+	n := rng.Intn(6)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("a%d", rng.Intn(8))
+		d = d.Set(name, randomValue(rng))
+	}
+	return d
+}
+
+// TestDescriptorKeyInjective property-tests: equal keys iff Equal.
+func TestDescriptorKeyInjective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDescriptor(rng)
+		b := randomDescriptor(rng)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDescriptorEncodeRoundTrip property-tests the codec.
+func TestDescriptorEncodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDescriptor(rng)
+		buf := d.AppendBinary(nil)
+		if len(buf) != d.EncodedSize() {
+			return false
+		}
+		got, rest, err := DecodeDescriptor(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return got.Equal(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDescriptorTruncated(t *testing.T) {
+	buf := sampleDescriptor().AppendBinary(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeDescriptor(buf[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(buf))
+		}
+	}
+}
+
+func TestDescriptorString(t *testing.T) {
+	d := NewDescriptor().Set("b", Int(2)).Set("a", String("x"))
+	want := `{a="x", b=2}`
+	if got := d.String(); got != want {
+		t.Fatalf("String() = %s, want %s", got, want)
+	}
+}

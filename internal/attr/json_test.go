@@ -1,0 +1,113 @@
+package attr
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+	"unicode/utf8"
+)
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	values := []Value{
+		String("hello"),
+		String(""),
+		Int(-42),
+		Float(3.25),
+		Time(time.Unix(1700000000, 123456789)),
+	}
+	for _, v := range values {
+		buf, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", v, err)
+		}
+		var got Value
+		if err := json.Unmarshal(buf, &got); err != nil {
+			t.Fatalf("unmarshal %s (%s): %v", v, buf, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip %s -> %s -> %s", v, buf, got)
+		}
+	}
+}
+
+func TestValueJSONInvalid(t *testing.T) {
+	if _, err := json.Marshal(Value{}); err == nil {
+		t.Fatal("invalid value marshaled")
+	}
+	var v Value
+	for _, bad := range []string{
+		`{}`,                 // no field
+		`{"i":1,"s":"x"}`,    // two fields
+		`{"t":"not-a-time"}`, // bad time
+		`{"i":"not-an-int"}`, // wrong type
+	} {
+		if err := json.Unmarshal([]byte(bad), &v); err == nil {
+			t.Fatalf("bad value %s accepted", bad)
+		}
+	}
+}
+
+func TestDescriptorJSONRoundTrip(t *testing.T) {
+	d := sampleDescriptor().Set(AttrTotalChunks, Int(4))
+	buf, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"namespace"`) {
+		t.Fatalf("flat object expected, got %s", buf)
+	}
+	var got Descriptor
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(d) {
+		t.Fatalf("round trip mismatch: %s vs %s", got, d)
+	}
+	// Key memoization must survive the JSON path.
+	if got.Key() != d.Key() {
+		t.Fatal("keys differ after JSON round trip")
+	}
+}
+
+func TestDescriptorJSONQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDescriptor(rng)
+		// JSON cannot represent NaN floats or invalid UTF-8 strings
+		// (the binary codec can); skip those draws.
+		for _, name := range d.Names() {
+			v, _ := d.Get(name)
+			if v.Kind() == KindFloat && v.FloatVal() != v.FloatVal() {
+				return true
+			}
+			if v.Kind() == KindString && !utf8.ValidString(v.StringVal()) {
+				return true
+			}
+		}
+		buf, err := json.Marshal(d)
+		if err != nil {
+			return false
+		}
+		var got Descriptor
+		if err := json.Unmarshal(buf, &got); err != nil {
+			return false
+		}
+		return got.Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorJSONNull(t *testing.T) {
+	var d Descriptor
+	if err := json.Unmarshal([]byte(`null`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("null decoded to %d attributes", d.Len())
+	}
+}

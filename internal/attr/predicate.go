@@ -1,0 +1,291 @@
+package attr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Relation enumerates the comparison operators a predicate may use
+// against an attribute value (§II-C: "a relation (e.g. =, >, ∈, etc.)").
+type Relation uint8
+
+// Supported predicate relations.
+const (
+	RelEqual Relation = iota + 1
+	RelNotEqual
+	RelLess
+	RelLessEqual
+	RelGreater
+	RelGreaterEqual
+	RelInRange   // value ∈ [lo, hi]
+	RelPrefix    // string attribute has the given prefix
+	RelExists    // attribute is present, any value
+	RelNotExists // attribute is absent
+)
+
+// String returns the operator spelling of the relation.
+func (r Relation) String() string {
+	switch r {
+	case RelEqual:
+		return "="
+	case RelNotEqual:
+		return "!="
+	case RelLess:
+		return "<"
+	case RelLessEqual:
+		return "<="
+	case RelGreater:
+		return ">"
+	case RelGreaterEqual:
+		return ">="
+	case RelInRange:
+		return "in"
+	case RelPrefix:
+		return "prefix"
+	case RelExists:
+		return "exists"
+	case RelNotExists:
+		return "absent"
+	default:
+		return fmt.Sprintf("rel(%d)", uint8(r))
+	}
+}
+
+// Predicate constrains one attribute: the named attribute must relate to
+// Value (and Hi, for RelInRange) as specified by Rel. A descriptor lacking
+// the attribute fails every relation except RelNotEqual.
+type Predicate struct {
+	Attr  string
+	Rel   Relation
+	Value Value
+	Hi    Value // upper bound, used only by RelInRange
+}
+
+// Eq returns an equality predicate.
+func Eq(attr string, v Value) Predicate { return Predicate{Attr: attr, Rel: RelEqual, Value: v} }
+
+// Ne returns an inequality predicate.
+func Ne(attr string, v Value) Predicate { return Predicate{Attr: attr, Rel: RelNotEqual, Value: v} }
+
+// Lt returns a less-than predicate.
+func Lt(attr string, v Value) Predicate { return Predicate{Attr: attr, Rel: RelLess, Value: v} }
+
+// Le returns a less-or-equal predicate.
+func Le(attr string, v Value) Predicate { return Predicate{Attr: attr, Rel: RelLessEqual, Value: v} }
+
+// Gt returns a greater-than predicate.
+func Gt(attr string, v Value) Predicate { return Predicate{Attr: attr, Rel: RelGreater, Value: v} }
+
+// Ge returns a greater-or-equal predicate.
+func Ge(attr string, v Value) Predicate {
+	return Predicate{Attr: attr, Rel: RelGreaterEqual, Value: v}
+}
+
+// InRange returns a closed-interval membership predicate lo <= attr <= hi.
+func InRange(attr string, lo, hi Value) Predicate {
+	return Predicate{Attr: attr, Rel: RelInRange, Value: lo, Hi: hi}
+}
+
+// Prefix returns a string-prefix predicate.
+func Prefix(attr, prefix string) Predicate {
+	return Predicate{Attr: attr, Rel: RelPrefix, Value: String(prefix)}
+}
+
+// Exists returns a presence predicate.
+func Exists(attr string) Predicate { return Predicate{Attr: attr, Rel: RelExists} }
+
+// NotExists returns an absence predicate; NotExists(AttrChunkID)
+// restricts discovery to item-level entries, skipping per-chunk ones.
+func NotExists(attr string) Predicate { return Predicate{Attr: attr, Rel: RelNotExists} }
+
+// Match reports whether the descriptor satisfies the predicate.
+func (p Predicate) Match(d Descriptor) bool {
+	v, ok := d.Get(p.Attr)
+	switch p.Rel {
+	case RelExists:
+		return ok
+	case RelNotExists:
+		return !ok
+	case RelNotEqual:
+		if !ok {
+			return true
+		}
+		return !v.Equal(p.Value)
+	}
+	if !ok {
+		return false
+	}
+	switch p.Rel {
+	case RelEqual:
+		return v.Equal(p.Value)
+	case RelPrefix:
+		return v.Kind() == KindString && strings.HasPrefix(v.StringVal(), p.Value.StringVal())
+	case RelInRange:
+		lo, err := v.Compare(p.Value)
+		if err != nil {
+			return false
+		}
+		hi, err := v.Compare(p.Hi)
+		if err != nil {
+			return false
+		}
+		return lo >= 0 && hi <= 0
+	default:
+		c, err := v.Compare(p.Value)
+		if err != nil {
+			return false
+		}
+		switch p.Rel {
+		case RelLess:
+			return c < 0
+		case RelLessEqual:
+			return c <= 0
+		case RelGreater:
+			return c > 0
+		case RelGreaterEqual:
+			return c >= 0
+		}
+	}
+	return false
+}
+
+// String renders the predicate for logs.
+func (p Predicate) String() string {
+	switch p.Rel {
+	case RelExists:
+		return fmt.Sprintf("%s exists", p.Attr)
+	case RelNotExists:
+		return fmt.Sprintf("%s absent", p.Attr)
+	case RelInRange:
+		return fmt.Sprintf("%s in [%s, %s]", p.Attr, p.Value, p.Hi)
+	default:
+		return fmt.Sprintf("%s %s %s", p.Attr, p.Rel, p.Value)
+	}
+}
+
+// appendBinary appends the wire form of the predicate.
+func (p Predicate) appendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p.Attr)))
+	dst = append(dst, p.Attr...)
+	dst = append(dst, byte(p.Rel))
+	switch p.Rel {
+	case RelExists, RelNotExists:
+	case RelInRange:
+		dst = p.Value.appendBinary(dst)
+		dst = p.Hi.appendBinary(dst)
+	default:
+		dst = p.Value.appendBinary(dst)
+	}
+	return dst
+}
+
+// decodePredicate decodes a predicate encoded by appendBinary.
+func decodePredicate(src []byte) (Predicate, []byte, error) {
+	nameLen, used := binary.Uvarint(src)
+	if used <= 0 || uint64(len(src)-used) < nameLen+1 {
+		return Predicate{}, nil, errTruncated
+	}
+	p := Predicate{Attr: string(src[used : used+int(nameLen)])}
+	src = src[used+int(nameLen):]
+	p.Rel = Relation(src[0])
+	src = src[1:]
+	var err error
+	switch p.Rel {
+	case RelExists, RelNotExists:
+	case RelInRange:
+		if p.Value, src, err = decodeValue(src); err != nil {
+			return Predicate{}, nil, err
+		}
+		if p.Hi, src, err = decodeValue(src); err != nil {
+			return Predicate{}, nil, err
+		}
+	default:
+		if p.Value, src, err = decodeValue(src); err != nil {
+			return Predicate{}, nil, err
+		}
+	}
+	return p, src, nil
+}
+
+// Query is a conjunction of predicates specifying desired data (§II-C).
+// The zero Query has no predicates and matches every descriptor.
+type Query struct {
+	Predicates []Predicate
+}
+
+// NewQuery returns a query over the given predicates.
+func NewQuery(preds ...Predicate) Query { return Query{Predicates: preds} }
+
+// And returns a copy of q with extra predicates appended.
+func (q Query) And(preds ...Predicate) Query {
+	out := make([]Predicate, 0, len(q.Predicates)+len(preds))
+	out = append(out, q.Predicates...)
+	out = append(out, preds...)
+	return Query{Predicates: out}
+}
+
+// Match reports whether the descriptor satisfies every predicate.
+func (q Query) Match(d Descriptor) bool {
+	for _, p := range q.Predicates {
+		if !p.Match(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEmpty reports whether the query has no predicates (matches all).
+func (q Query) IsEmpty() bool { return len(q.Predicates) == 0 }
+
+// String renders the query for logs.
+func (q Query) String() string {
+	if q.IsEmpty() {
+		return "(all)"
+	}
+	parts := make([]string, len(q.Predicates))
+	for i, p := range q.Predicates {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// AppendBinary appends the wire form: uvarint count then predicates.
+func (q Query) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(q.Predicates)))
+	for _, p := range q.Predicates {
+		dst = p.appendBinary(dst)
+	}
+	return dst
+}
+
+// DecodeQuery decodes a query encoded by AppendBinary and returns the
+// remaining bytes.
+func DecodeQuery(src []byte) (Query, []byte, error) {
+	n, used := binary.Uvarint(src)
+	if used <= 0 {
+		return Query{}, nil, errTruncated
+	}
+	src = src[used:]
+	// Each predicate costs at least two bytes on the wire; reject
+	// counts that cannot fit rather than trusting them as capacity.
+	if n > uint64(len(src))/2 {
+		return Query{}, nil, errTruncated
+	}
+	var q Query
+	if n > 0 {
+		q.Predicates = make([]Predicate, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var (
+			p   Predicate
+			err error
+		)
+		p, src, err = decodePredicate(src)
+		if err != nil {
+			return Query{}, nil, fmt.Errorf("query predicate %d: %w", i, err)
+		}
+		q.Predicates = append(q.Predicates, p)
+	}
+	return q, src, nil
+}

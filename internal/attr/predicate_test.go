@@ -1,0 +1,148 @@
+package attr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPredicateRelations(t *testing.T) {
+	d := NewDescriptor().
+		Set("s", String("hello")).
+		Set("i", Int(10)).
+		Set("f", Float(2.5)).
+		Set("t", Time(time.Unix(100, 0)))
+	tests := []struct {
+		name string
+		p    Predicate
+		want bool
+	}{
+		{"eq string hit", Eq("s", String("hello")), true},
+		{"eq string miss", Eq("s", String("world")), false},
+		{"eq missing attr", Eq("zz", String("x")), false},
+		{"ne hit", Ne("s", String("world")), true},
+		{"ne miss", Ne("s", String("hello")), false},
+		{"ne missing attr is true", Ne("zz", String("x")), true},
+		{"lt hit", Lt("i", Int(11)), true},
+		{"lt miss equal", Lt("i", Int(10)), false},
+		{"le hit equal", Le("i", Int(10)), true},
+		{"gt hit", Gt("f", Float(2.0)), true},
+		{"gt miss", Gt("f", Float(3.0)), false},
+		{"ge hit equal", Ge("f", Float(2.5)), true},
+		{"range inside", InRange("i", Int(5), Int(15)), true},
+		{"range at low edge", InRange("i", Int(10), Int(15)), true},
+		{"range at high edge", InRange("i", Int(5), Int(10)), true},
+		{"range outside", InRange("i", Int(11), Int(15)), false},
+		{"prefix hit", Prefix("s", "hel"), true},
+		{"prefix miss", Prefix("s", "hex"), false},
+		{"prefix non-string", Prefix("i", "1"), false},
+		{"exists hit", Exists("t"), true},
+		{"exists miss", Exists("zz"), false},
+		{"time lt", Lt("t", Time(time.Unix(200, 0))), true},
+		{"kind mismatch comparison", Lt("i", String("x")), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Match(d); got != tt.want {
+				t.Fatalf("%s on %s = %v, want %v", tt.p, d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQueryConjunction(t *testing.T) {
+	d := NewDescriptor().Set("a", Int(1)).Set("b", Int(2))
+	q := NewQuery(Eq("a", Int(1)), Eq("b", Int(2)))
+	if !q.Match(d) {
+		t.Fatal("conjunction of true predicates failed")
+	}
+	q2 := q.And(Eq("a", Int(99)))
+	if q2.Match(d) {
+		t.Fatal("conjunction with false predicate matched")
+	}
+	if len(q.Predicates) != 2 {
+		t.Fatal("And mutated the receiver")
+	}
+	if !NewQuery().Match(d) || !(Query{}).Match(d) {
+		t.Fatal("empty query must match everything")
+	}
+	if !NewQuery().IsEmpty() {
+		t.Fatal("IsEmpty wrong")
+	}
+}
+
+func randomPredicate(rng *rand.Rand) Predicate {
+	attrs := []string{"a0", "a1", "a2", "a3"}
+	a := attrs[rng.Intn(len(attrs))]
+	switch rng.Intn(9) {
+	case 0:
+		return Eq(a, randomValue(rng))
+	case 1:
+		return Ne(a, randomValue(rng))
+	case 2:
+		return Lt(a, randomValue(rng))
+	case 3:
+		return Le(a, randomValue(rng))
+	case 4:
+		return Gt(a, randomValue(rng))
+	case 5:
+		return Ge(a, randomValue(rng))
+	case 6:
+		lo := randomValue(rng)
+		return InRange(a, lo, randomValue(rng))
+	case 7:
+		return Prefix(a, "p")
+	default:
+		return Exists(a)
+	}
+}
+
+// TestQueryEncodeRoundTrip property-tests that queries survive the wire
+// and match identically afterwards.
+func TestQueryEncodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		preds := make([]Predicate, rng.Intn(5))
+		for i := range preds {
+			preds[i] = randomPredicate(rng)
+		}
+		q := NewQuery(preds...)
+		buf := q.AppendBinary(nil)
+		got, rest, err := DecodeQuery(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		// Behavioral equality: same verdict on random descriptors.
+		for i := 0; i < 20; i++ {
+			d := randomDescriptor(rng)
+			if q.Match(d) != got.Match(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeQueryTruncated(t *testing.T) {
+	q := NewQuery(Eq("a", String("x")), InRange("b", Int(1), Int(5)))
+	buf := q.AppendBinary(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeQuery(buf[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(buf))
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	if got := NewQuery().String(); got != "(all)" {
+		t.Fatalf("empty query String = %q", got)
+	}
+	q := NewQuery(Eq("a", Int(1)), Exists("b"))
+	if got := q.String(); got != "a = 1 AND b exists" {
+		t.Fatalf("String = %q", got)
+	}
+}

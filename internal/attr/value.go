@@ -1,0 +1,218 @@
+// Package attr implements the data-description layer of PDS: typed
+// attribute values, data descriptors (the metadata associated with every
+// data item and chunk), and predicate-based queries over them.
+//
+// A data descriptor is an ordered set of named attributes, each holding a
+// value of one primitive kind (string, int64, float64 or Unix time). A
+// query is a conjunction of predicates, each relating one attribute to a
+// value or value range. Matching a descriptor against a query is the core
+// operation of both Peer Data Discovery and Peer Data Retrieval.
+package attr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the primitive types an attribute value may take.
+type Kind uint8
+
+// Attribute value kinds. KindInvalid is deliberately the zero value so an
+// uninitialized Value is detectably invalid.
+const (
+	KindInvalid Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindTime
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindTime:
+		return "time"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a single typed attribute value. The zero Value is invalid.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64 // also holds time as Unix nanoseconds
+	f    float64
+}
+
+// String returns a Value holding a string.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int returns a Value holding a 64-bit integer.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a Value holding a 64-bit float.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Time returns a Value holding an instant, stored as Unix nanoseconds.
+func Time(t time.Time) Value { return Value{kind: KindTime, i: t.UnixNano()} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value holds one of the defined kinds.
+func (v Value) IsValid() bool { return v.kind > KindInvalid && v.kind <= KindTime }
+
+// StringVal returns the string payload. It is only meaningful for
+// KindString values.
+func (v Value) StringVal() string { return v.s }
+
+// IntVal returns the integer payload. It is only meaningful for KindInt.
+func (v Value) IntVal() int64 { return v.i }
+
+// FloatVal returns the float payload. It is only meaningful for KindFloat.
+func (v Value) FloatVal() float64 { return v.f }
+
+// TimeVal returns the time payload. It is only meaningful for KindTime.
+func (v Value) TimeVal() time.Time { return time.Unix(0, v.i) }
+
+// Equal reports whether two values have the same kind and payload.
+// Float values compare with ==, so NaN never equals anything.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString:
+		return v.s == o.s
+	case KindInt, KindTime:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	default:
+		return true
+	}
+}
+
+// Compare orders two values of the same kind: -1 if v < o, 0 if equal,
+// +1 if v > o. It returns an error when the kinds differ or are not
+// ordered (every defined kind is ordered; strings order lexically).
+func (v Value) Compare(o Value) (int, error) {
+	if v.kind != o.kind {
+		return 0, fmt.Errorf("compare %s to %s: %w", v.kind, o.kind, ErrKindMismatch)
+	}
+	switch v.kind {
+	case KindString:
+		switch {
+		case v.s < o.s:
+			return -1, nil
+		case v.s > o.s:
+			return 1, nil
+		}
+		return 0, nil
+	case KindInt, KindTime:
+		switch {
+		case v.i < o.i:
+			return -1, nil
+		case v.i > o.i:
+			return 1, nil
+		}
+		return 0, nil
+	case KindFloat:
+		switch {
+		case v.f < o.f:
+			return -1, nil
+		case v.f > o.f:
+			return 1, nil
+		case v.f == o.f:
+			return 0, nil
+		}
+		return 0, fmt.Errorf("compare NaN: %w", ErrKindMismatch)
+	default:
+		return 0, fmt.Errorf("compare invalid value: %w", ErrKindMismatch)
+	}
+}
+
+// ErrKindMismatch is returned when an operation is applied to values of
+// incompatible kinds.
+var ErrKindMismatch = errors.New("attribute kind mismatch")
+
+// GoString implements fmt.GoStringer for readable test failures.
+func (v Value) GoString() string { return v.String() }
+
+// String renders the value for logs and debugging.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindTime:
+		return time.Unix(0, v.i).UTC().Format(time.RFC3339Nano)
+	default:
+		return "<invalid>"
+	}
+}
+
+// appendBinary appends a canonical binary form of the value: kind byte,
+// then a kind-specific payload. Strings are length-prefixed with uvarint.
+func (v Value) appendBinary(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case KindInt, KindTime:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindFloat:
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.f))
+	}
+	return dst
+}
+
+// decodeValue decodes a value encoded by appendBinary and returns the
+// remaining bytes.
+func decodeValue(src []byte) (Value, []byte, error) {
+	if len(src) == 0 {
+		return Value{}, nil, errTruncated
+	}
+	k := Kind(src[0])
+	src = src[1:]
+	switch k {
+	case KindString:
+		n, used := binary.Uvarint(src)
+		if used <= 0 || uint64(len(src)-used) < n {
+			return Value{}, nil, errTruncated
+		}
+		s := string(src[used : used+int(n)])
+		return String(s), src[used+int(n):], nil
+	case KindInt, KindTime:
+		i, used := binary.Varint(src)
+		if used <= 0 {
+			return Value{}, nil, errTruncated
+		}
+		return Value{kind: k, i: i}, src[used:], nil
+	case KindFloat:
+		if len(src) < 8 {
+			return Value{}, nil, errTruncated
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(src))
+		return Float(f), src[8:], nil
+	default:
+		return Value{}, nil, fmt.Errorf("decode value: unknown kind %d", k)
+	}
+}
+
+var errTruncated = errors.New("attr: truncated encoding")

@@ -1,0 +1,193 @@
+package attr
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueKinds(t *testing.T) {
+	now := time.Unix(1600000000, 12345)
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+	}{
+		{"string", String("abc"), KindString},
+		{"int", Int(-42), KindInt},
+		{"float", Float(3.5), KindFloat},
+		{"time", Time(now), KindTime},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Kind(); got != tt.kind {
+				t.Fatalf("Kind() = %v, want %v", got, tt.kind)
+			}
+			if !tt.v.IsValid() {
+				t.Fatal("IsValid() = false")
+			}
+		})
+	}
+	if (Value{}).IsValid() {
+		t.Fatal("zero Value reports valid")
+	}
+}
+
+func TestValuePayloads(t *testing.T) {
+	if got := String("xy").StringVal(); got != "xy" {
+		t.Fatalf("StringVal = %q", got)
+	}
+	if got := Int(-7).IntVal(); got != -7 {
+		t.Fatalf("IntVal = %d", got)
+	}
+	if got := Float(2.25).FloatVal(); got != 2.25 {
+		t.Fatalf("FloatVal = %v", got)
+	}
+	at := time.Unix(12, 34)
+	if got := Time(at).TimeVal(); !got.Equal(at) {
+		t.Fatalf("TimeVal = %v, want %v", got, at)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Float(1), false}, // kinds differ
+		{Float(1.5), Float(1.5), true},
+		{Float(math.NaN()), Float(math.NaN()), false},
+		{Time(time.Unix(5, 0)), Time(time.Unix(5, 0)), true},
+		{Value{}, Value{}, true}, // both invalid compare equal
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b    Value
+		want    int
+		wantErr bool
+	}{
+		{Int(1), Int(2), -1, false},
+		{Int(2), Int(2), 0, false},
+		{Int(3), Int(2), 1, false},
+		{String("a"), String("b"), -1, false},
+		{String("b"), String("b"), 0, false},
+		{Float(1.5), Float(0.5), 1, false},
+		{Time(time.Unix(1, 0)), Time(time.Unix(2, 0)), -1, false},
+		{Int(1), String("1"), 0, true},
+		{Float(math.NaN()), Float(1), 0, true},
+		{Value{}, Value{}, 0, true},
+	}
+	for _, tt := range tests {
+		got, err := tt.a.Compare(tt.b)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("%v.Compare(%v) err = %v, wantErr %v", tt.a, tt.b, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{String("hi"), `"hi"`},
+		{Int(7), "7"},
+		{Float(0.5), "0.5"},
+		{Value{}, "<invalid>"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// randomValue draws an arbitrary valid value.
+func randomValue(rng *rand.Rand) Value {
+	switch rng.Intn(4) {
+	case 0:
+		b := make([]byte, rng.Intn(12))
+		rng.Read(b)
+		return String(string(b))
+	case 1:
+		return Int(rng.Int63() - rng.Int63())
+	case 2:
+		return Float(rng.NormFloat64())
+	default:
+		return Time(time.Unix(rng.Int63n(1e9), rng.Int63n(1e9)))
+	}
+}
+
+// TestValueEncodeRoundTrip checks decode(encode(v)) == v for arbitrary
+// values.
+func TestValueEncodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomValue(rng)
+		buf := v.appendBinary(nil)
+		got, rest, err := decodeValue(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeValueTruncated(t *testing.T) {
+	v := String("hello world")
+	buf := v.appendBinary(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := decodeValue(buf[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(buf))
+		}
+	}
+}
+
+func TestDecodeValueUnknownKind(t *testing.T) {
+	if _, _, err := decodeValue([]byte{0xEE, 1, 2}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestCompareAntisymmetric checks Compare(a,b) == -Compare(b,a) for
+// same-kind values.
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomValue(rng)
+		b := randomValue(rng)
+		if a.Kind() != b.Kind() {
+			return true
+		}
+		ab, err1 := a.Compare(b)
+		ba, err2 := b.Compare(a)
+		if err1 != nil || err2 != nil {
+			return reflect.DeepEqual(err1 == nil, err2 == nil)
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowAdvances(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("Now did not advance: %v then %v", a, b)
+	}
+}
+
+func TestRealScheduleFires(t *testing.T) {
+	c := NewReal()
+	done := make(chan struct{})
+	c.Schedule(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("scheduled callback never fired")
+	}
+}
+
+func TestRealCancel(t *testing.T) {
+	c := NewReal()
+	fired := false
+	cancel := c.Schedule(20*time.Millisecond, func() { fired = true })
+	cancel()
+	time.Sleep(60 * time.Millisecond)
+	c.Locked(func() {
+		if fired {
+			t.Fatal("cancelled callback fired")
+		}
+	})
+}
+
+// TestCallbacksSerialized: scheduled callbacks and Locked sections never
+// overlap; a counter incremented non-atomically stays consistent.
+func TestCallbacksSerialized(t *testing.T) {
+	c := NewReal()
+	var n int
+	var wg sync.WaitGroup
+	const workers = 20
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		c.Schedule(time.Millisecond, func() {
+			defer wg.Done()
+			v := n
+			time.Sleep(100 * time.Microsecond) // widen the race window
+			n = v + 1
+		})
+	}
+	wg.Wait()
+	c.Locked(func() {
+		if n != workers {
+			t.Fatalf("n = %d, want %d (callbacks overlapped)", n, workers)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/wire"
+)
+
+// RetrieveMDR retrieves a large item with the paper's baseline
+// Multi-round Data Retrieval (§VI-B.3): PDD-style multi-round flooded
+// queries whose responses carry the chunks themselves, with Bloom-filter
+// redundancy detection but no CDI and no recursive division. Figures
+// 13/14 compare it against PDR.
+func (n *Node) RetrieveMDR(item attr.Descriptor, cb func(RetrievalResult)) {
+	item = item.ItemDescriptor()
+	total := item.TotalChunks()
+	itemKey := item.Key()
+	start := n.clk.Now()
+	if total <= 0 {
+		cb(RetrievalResult{Item: item, Chunks: map[int][]byte{}})
+		return
+	}
+
+	// Select exactly this item's chunks: equality on every item
+	// attribute plus presence of a chunk id.
+	sel := attr.NewQuery(attr.Exists(attr.AttrChunkID))
+	for _, name := range item.Names() {
+		v, _ := item.Get(name)
+		sel = sel.And(attr.Eq(name, v))
+	}
+
+	n.Discover(sel, DiscoverOptions{
+		Kind:            wire.KindData,
+		WantTotal:       total,
+		CollectPayloads: true,
+		// Chunk responses arrive seconds apart under contention; widen
+		// the round window accordingly and allow more rounds.
+		Window:    5 * time.Second,
+		MaxRounds: 20,
+	}, func(dr DiscoveryResult) {
+		chunks := make(map[int][]byte, len(dr.Entries))
+		for _, d := range dr.Entries {
+			cid, ok := d.ChunkID()
+			if !ok || cid < 0 || cid >= total {
+				continue
+			}
+			if p, ok := dr.Payloads[d.Key()]; ok {
+				chunks[cid] = p
+			} else if p, ok := n.ds.ChunkPayload(itemKey, cid); ok {
+				chunks[cid] = p
+			}
+		}
+		cb(RetrievalResult{
+			Item:     item,
+			Chunks:   chunks,
+			Complete: len(chunks) == total,
+			Latency:  dr.Latency,
+			Duration: n.clk.Now() - start,
+			Rounds:   dr.Rounds,
+		})
+	})
+}

@@ -1,0 +1,353 @@
+// Package core implements the PDS protocol engine: Peer Data Discovery
+// (PDD, §III), Peer Data Retrieval (PDR, §IV) and the MDR baseline
+// (§VI-B.3), exactly as a per-node state machine.
+//
+// A Node is driven entirely by three inputs — HandleMessage for frames
+// that survived the link layer, timers from an abstract clock, and local
+// application calls (Publish*, Discover, Retrieve) — and produces
+// messages through an abstract sender. It therefore runs unchanged on
+// the deterministic simulator and on real UDP sockets.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/clock"
+	"pds/internal/store"
+	"pds/internal/wire"
+)
+
+// Config holds protocol parameters. Defaults (DefaultConfig) are the
+// paper's chosen operating point.
+type Config struct {
+	// QueryTTL is the lifetime of a lingering query in LQTs en route
+	// (§III-A). It bounds how long one query keeps steering responses.
+	QueryTTL time.Duration
+	// EntryTTL is the expiry attached to cached metadata entries held
+	// without payload (§II-C).
+	EntryTTL time.Duration
+	// CDITTL is the expiry of chunk-distribution entries (§IV-A).
+	CDITTL time.Duration
+	// RecentRespRetention is how long response ids are remembered for
+	// duplicate suppression.
+	RecentRespRetention time.Duration
+
+	// Window is T: the sliding window over which response arrivals are
+	// counted to detect a diminishing round (§III-B.2). Paper best: 1s.
+	Window time.Duration
+	// StopRatio is T_r: the round is finished when the fraction of
+	// responses arriving within the last Window drops to or below it.
+	// Paper best: 0.
+	StopRatio float64
+	// NewRoundRatio is T_d: a new round starts when the fraction of new
+	// entries received in the finished round exceeds it. Paper best: 0.
+	NewRoundRatio float64
+	// RoundCheck is how often a consumer session evaluates the round
+	// rules; it only needs to be a fraction of Window.
+	RoundCheck time.Duration
+	// MaxRounds caps discovery rounds as a safety valve.
+	MaxRounds int
+
+	// BloomEnabled turns redundancy detection on (§III-B.2). Off is the
+	// no-rewrite ablation.
+	BloomEnabled bool
+	// BloomFPR is the per-round false-positive target (§V-3).
+	BloomFPR float64
+	// MixedcastEnabled joins entries for multiple downstream consumers
+	// into one response (§III-B.1). Off sends one response per matching
+	// lingering query — the multicast-style ablation.
+	MixedcastEnabled bool
+	// LingeringEnabled keeps queries alive until TTL. Off removes a
+	// query from the LQT after it first steers a response — the
+	// CCN/NDN-style one-shot Interest ablation (§VIII).
+	LingeringEnabled bool
+
+	// ForwardJitterMax randomizes when a flooded query is re-forwarded,
+	// desynchronizing the neighbors that all received the same
+	// broadcast — the classic broadcast-storm mitigation the paper
+	// defers to ([26], [27] in §VII).
+	ForwardJitterMax time.Duration
+	// ResponseJitterMax randomizes when a locally generated response is
+	// sent, spreading the answer burst that a flooded query triggers.
+	ResponseJitterMax time.Duration
+	// MaxResponseBytes bounds the payload of one metadata/CDI response
+	// message; longer payloads are split across messages, mirroring the
+	// prototype's 1.5 KB packets.
+	MaxResponseBytes int
+	// CacheCap bounds cached (non-owned) payload bytes per node;
+	// 0 = unlimited. Metadata entries are always cached (§VII).
+	CacheCap int
+	// CachePolicy selects the eviction strategy for the bounded cache
+	// (FIFO default; LRU/LFU implement §VII's popularity-based
+	// caching sketch).
+	CachePolicy store.CachePolicy
+
+	// LoadBalanceEnabled applies the min-max assignment heuristic of
+	// §IV-B when dividing chunk queries among neighbors. Off always
+	// picks the first nearest neighbor — the contention ablation.
+	LoadBalanceEnabled bool
+	// OutstandingChunks bounds how many chunks a PDR consumer keeps
+	// requested but undelivered at once. Requesting every chunk of a
+	// 20 MB item simultaneously floods the consumer's contention domain
+	// with dozens of concurrent streams and collapses the channel; a
+	// small window keeps it near capacity.
+	OutstandingChunks int
+	// ChunkRetry is the consumer-side watchdog for PDR phase 2: wanted
+	// chunks not delivered within it are re-requested with fresh CDI.
+	ChunkRetry time.Duration
+	// CDIWindow is the phase-1 settling window: phase 2 starts once no
+	// CDI update has arrived for this long (or all chunks are known).
+	CDIWindow time.Duration
+	// RetrievalRounds caps phase-1/phase-2 retry cycles.
+	RetrievalRounds int
+}
+
+// DefaultConfig returns the paper's operating point: T = 1 s,
+// T_r = T_d = 0, Bloom redundancy detection, mixedcast and lingering
+// queries on.
+func DefaultConfig() Config {
+	return Config{
+		QueryTTL:            15 * time.Second,
+		EntryTTL:            5 * time.Minute,
+		CDITTL:              2 * time.Minute,
+		RecentRespRetention: 30 * time.Second,
+		Window:              time.Second,
+		StopRatio:           0,
+		NewRoundRatio:       0,
+		RoundCheck:          100 * time.Millisecond,
+		MaxRounds:           12,
+		BloomEnabled:        true,
+		BloomFPR:            0.01,
+		ForwardJitterMax:    20 * time.Millisecond,
+		ResponseJitterMax:   100 * time.Millisecond,
+		MixedcastEnabled:    true,
+		LingeringEnabled:    true,
+		MaxResponseBytes:    1400,
+		CacheCap:            0,
+		LoadBalanceEnabled:  true,
+		OutstandingChunks:   6,
+		ChunkRetry:          15 * time.Second,
+		CDIWindow:           800 * time.Millisecond,
+		RetrievalRounds:     10,
+	}
+}
+
+// Sender transmits a protocol message toward the medium; link.Link.Send
+// satisfies it.
+type Sender func(*wire.Message)
+
+// Stats counts protocol-level activity at one node.
+type Stats struct {
+	QueriesReceived    uint64
+	QueriesDuplicate   uint64
+	QueriesForwarded   uint64
+	ResponsesReceived  uint64
+	ResponsesDuplicate uint64
+	ResponsesSent      uint64
+	ResponsesRelayed   uint64
+	EntriesCached      uint64
+	PayloadsCached     uint64
+	EntriesPruned      uint64 // entries suppressed by Bloom/mixedcast pruning
+	SubQueriesSent     uint64 // PDR recursive divisions
+}
+
+// Node is one PDS protocol endpoint.
+type Node struct {
+	id   wire.NodeID
+	clk  clock.Clock
+	rng  *rand.Rand
+	send Sender
+	cfg  Config
+
+	ds  *store.DataStore
+	cdi *store.CDITable
+	lqt *store.LQT
+	rr  *store.RecentResponses
+
+	// servePending coalesces response generation per query kind.
+	servePending map[wire.QueryKind]bool
+	// discSessions are this node's active discovery/collection
+	// sessions; responses are delivered to them by selector match.
+	discSessions []*session
+	// retrievals maps item keys to active PDR sessions.
+	retrievals map[string]*retrieval
+
+	stats   Stats
+	stopped bool
+}
+
+// NewNode creates a protocol node. rng must be dedicated to this node
+// (deterministic experiments seed it from the scenario seed and node
+// id).
+func NewNode(id wire.NodeID, clk clock.Clock, rng *rand.Rand, send Sender, cfg Config) *Node {
+	n := &Node{
+		id:   id,
+		clk:  clk,
+		rng:  rng,
+		send: send,
+		cfg:  cfg,
+		ds:   store.NewDataStore(cfg.CacheCap),
+
+		cdi:        store.NewCDITable(),
+		lqt:        store.NewLQT(),
+		rr:         store.NewRecentResponses(cfg.RecentRespRetention),
+		retrievals: make(map[string]*retrieval),
+	}
+	n.ds.SetCachePolicy(cfg.CachePolicy)
+	n.scheduleHousekeeping()
+	return n
+}
+
+// ID returns the node id.
+func (n *Node) ID() wire.NodeID { return n.id }
+
+// Stats returns a snapshot of protocol counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Store exposes the data store for scenario seeding and assertions.
+func (n *Node) Store() *store.DataStore { return n.ds }
+
+// CDI exposes the chunk-distribution table for tests.
+func (n *Node) CDI() *store.CDITable { return n.cdi }
+
+// LQTLen reports the lingering-query table size (tests/diagnostics).
+func (n *Node) LQTLen() int { return n.lqt.Len() }
+
+// SetDebugPrune installs a hook observing relay prunes (tests only).
+func SetDebugPrune(fn func(*Node, *wire.Response, attr.Descriptor)) { debugPrune = fn }
+
+// Stop halts housekeeping; the node still responds to HandleMessage but
+// schedules no further timers of its own.
+func (n *Node) Stop() { n.stopped = true }
+
+func (n *Node) scheduleHousekeeping() {
+	if n.stopped {
+		return
+	}
+	n.clk.Schedule(time.Second, func() {
+		if n.stopped {
+			return
+		}
+		now := n.clk.Now()
+		n.ds.Expire(now)
+		n.cdi.Expire(now)
+		n.lqt.Expire(now)
+		n.rr.Prune(now)
+		n.scheduleHousekeeping()
+	})
+}
+
+// PublishEntry registers a metadata-only fact this node produced (used
+// when the payload lives elsewhere or is generated on demand).
+func (n *Node) PublishEntry(d attr.Descriptor) { n.ds.PutOwned(d) }
+
+// PublishSmall publishes a small data item: payload plus its entry.
+func (n *Node) PublishSmall(d attr.Descriptor, payload []byte) {
+	n.ds.PutPayloadOwned(d, payload)
+}
+
+// PublishChunk publishes one chunk of a large item. The chunk descriptor
+// (item descriptor + chunkid) and the item-level entry are both stored,
+// so the node answers metadata discovery for the item and CDI/chunk
+// queries for the chunk (§II-B, §II-C).
+func (n *Node) PublishChunk(item attr.Descriptor, chunkID int, payload []byte) {
+	cd := item.WithChunk(chunkID)
+	n.ds.PutPayloadOwned(cd, payload)
+	n.ds.PutOwned(item)
+}
+
+// PublishItem splits payload into chunkSize chunks, publishes all of
+// them and returns the item descriptor completed with totalchunks.
+func (n *Node) PublishItem(item attr.Descriptor, payload []byte, chunkSize int) attr.Descriptor {
+	if chunkSize <= 0 {
+		chunkSize = 256 << 10
+	}
+	total := (len(payload) + chunkSize - 1) / chunkSize
+	if total == 0 {
+		total = 1
+	}
+	item = item.Set(attr.AttrTotalChunks, attr.Int(int64(total)))
+	for c := 0; c < total; c++ {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		n.PublishChunk(item, c, payload[lo:hi])
+	}
+	return item
+}
+
+// Unpublish removes an owned item or chunk (producer deleting data).
+func (n *Node) Unpublish(d attr.Descriptor) { n.ds.DeleteOwned(d) }
+
+// HandleMessage processes a frame that passed link-layer dedup.
+func (n *Node) HandleMessage(msg *wire.Message) {
+	switch msg.Type {
+	case wire.TypeQuery:
+		if msg.Query != nil {
+			n.handleQuery(msg.Query)
+		}
+	case wire.TypeResponse:
+		if msg.Response != nil {
+			n.handleResponse(msg.Response)
+		}
+	}
+}
+
+// transmit hands a message to the sender unless the node is stopped.
+func (n *Node) transmit(msg *wire.Message) {
+	if !n.stopped {
+		n.send(msg)
+	}
+}
+
+// sendJittered transmits msg after a uniform random delay in
+// [0, maxJitter), desynchronizing the bursts that one broadcast
+// reception triggers at many nodes at the same instant.
+func (n *Node) sendJittered(msg *wire.Message, maxJitter time.Duration) {
+	if maxJitter <= 0 {
+		n.transmit(msg)
+		return
+	}
+	delay := time.Duration(n.rng.Int63n(int64(maxJitter)))
+	n.clk.Schedule(delay, func() { n.transmit(msg) })
+}
+
+// newID draws a random, effectively unique id for queries/responses.
+func (n *Node) newID() uint64 {
+	for {
+		id := n.rng.Uint64()
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+// sortedServes returns the serve bindings sorted by (node, query id).
+func sortedServes(set map[wire.Serve]bool) []wire.Serve {
+	out := make([]wire.Serve, 0, len(set))
+	for sv := range set {
+		out = append(out, sv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].QueryID < out[j].QueryID
+	})
+	return out
+}
+
+// sortedIDs returns the ids sorted, deduplicated.
+func sortedIDs(set map[wire.NodeID]bool) []wire.NodeID {
+	out := make([]wire.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

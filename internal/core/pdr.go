@@ -1,0 +1,668 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"pds/internal/assign"
+	"pds/internal/attr"
+	"pds/internal/wire"
+)
+
+// RetrievalResult reports the outcome of a PDR (or MDR) session.
+type RetrievalResult struct {
+	// Item is the retrieved item's descriptor.
+	Item attr.Descriptor
+	// Chunks maps chunk id to payload for every retrieved chunk.
+	Chunks map[int][]byte
+	// Complete reports whether all TotalChunks chunks were retrieved.
+	Complete bool
+	// CDILatency is the duration of phase 1 (zero for MDR).
+	CDILatency time.Duration
+	// Latency is the time from the session start to the arrival of the
+	// last chunk.
+	Latency time.Duration
+	// Duration is the total session wall time.
+	Duration time.Duration
+	// Rounds counts phase-2 request rounds (or MDR query rounds).
+	Rounds int
+}
+
+// Assemble concatenates the chunks in id order; ok is false when any
+// chunk is missing.
+func (r *RetrievalResult) Assemble() ([]byte, bool) {
+	total := r.Item.TotalChunks()
+	var out []byte
+	for c := 0; c < total; c++ {
+		p, ok := r.Chunks[c]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, p...)
+	}
+	return out, true
+}
+
+// retrieval is an active consumer-side PDR session: phase 1 collects
+// chunk distribution information; phase 2 recursively requests chunks
+// from nearest neighbors (§IV).
+type retrieval struct {
+	n        *Node
+	item     attr.Descriptor
+	itemKey  string
+	total    int
+	cb       func(RetrievalResult)
+	progress func(done, total int)
+
+	phase         int // 1 = CDI retrieval, 2 = chunk retrieval
+	rounds        int
+	start         time.Duration
+	phase2Start   time.Duration
+	lastCDIUpdate time.Duration
+	lastChunkAt   time.Duration
+	lastRequestAt time.Duration
+	// lastRoundAt is when the current retry cycle began (CDI flood or
+	// phase-2 entry); the no-progress watchdog compares against it, not
+	// against lastRequestAt, which re-requests keep refreshing.
+	lastRoundAt time.Duration
+	// requestedAt tracks when each chunk was last requested; entries
+	// older than the adaptive retry window are considered lost and
+	// eligible again.
+	requestedAt map[int]time.Duration
+	// chunkEWMA estimates the typical inter-chunk arrival time, used to
+	// size the retry window: a stalled request should be reclaimed after
+	// a few typical service times, not a fixed worst case.
+	chunkEWMA time.Duration
+
+	done        bool
+	cancelCheck func()
+}
+
+// Retrieve starts a PDR session for the item (whose descriptor must
+// carry totalchunks, normally obtained from discovery) and calls cb
+// exactly once. Chunks already cached locally are used directly.
+func (n *Node) Retrieve(item attr.Descriptor, cb func(RetrievalResult)) {
+	n.RetrieveWithProgress(item, nil, cb)
+}
+
+// RetrieveWithProgress is Retrieve with a progress callback invoked
+// after every chunk arrival with (chunks held, total chunks). It fires
+// before the final callback and never after it.
+func (n *Node) RetrieveWithProgress(item attr.Descriptor, progress func(done, total int), cb func(RetrievalResult)) {
+	item = item.ItemDescriptor()
+	r := &retrieval{
+		n:           n,
+		item:        item,
+		itemKey:     item.Key(),
+		total:       item.TotalChunks(),
+		cb:          cb,
+		progress:    progress,
+		start:       n.clk.Now(),
+		requestedAt: make(map[int]time.Duration),
+	}
+	r.lastChunkAt = r.start
+	if r.total <= 0 {
+		// Nothing to do: a malformed descriptor retrieves nothing.
+		cb(RetrievalResult{Item: item, Chunks: map[int][]byte{}, Complete: false})
+		return
+	}
+	if old, ok := n.retrievals[r.itemKey]; ok {
+		// One active session per item; the newer call supersedes.
+		old.finish(n.clk.Now())
+	}
+	n.retrievals[r.itemKey] = r
+	if r.complete() {
+		r.finish(n.clk.Now())
+		return
+	}
+	r.startCDIRound()
+	r.scheduleCheck()
+}
+
+// missing returns the chunk ids not yet held locally, sorted.
+func (r *retrieval) missing() []int {
+	held := make(map[int]bool)
+	for _, c := range r.n.ds.ChunksHeld(r.itemKey) {
+		held[c] = true
+	}
+	var out []int
+	for c := 0; c < r.total; c++ {
+		if !held[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (r *retrieval) complete() bool { return len(r.missing()) == 0 }
+
+// startCDIRound floods a CDI query for the item (phase 1, §IV-A).
+func (r *retrieval) startCDIRound() {
+	n := r.n
+	r.phase = 1
+	r.rounds++
+	now := n.clk.Now()
+	r.lastCDIUpdate = now
+	r.lastRoundAt = now
+	q := &wire.Query{
+		ID:     n.newID(),
+		Kind:   wire.KindCDI,
+		TTL:    n.cfg.QueryTTL,
+		Sender: n.id,
+		Origin: n.id,
+		Round:  uint32(r.rounds),
+		Item:   r.item,
+	}
+	n.lqt.Insert(q, now+q.TTL)
+	n.transmit(&wire.Message{Type: wire.TypeQuery, Query: q})
+}
+
+func (r *retrieval) scheduleCheck() {
+	if r.done {
+		return
+	}
+	r.cancelCheck = r.n.clk.Schedule(r.n.cfg.RoundCheck, func() {
+		r.check()
+		r.scheduleCheck()
+	})
+}
+
+// check drives the phase machine: phase 1 settles when CDI covers every
+// missing chunk or has been quiet for CDIWindow; phase 2 is watched by
+// a retry timer that falls back to a fresh CDI round.
+func (r *retrieval) check() {
+	if r.done {
+		return
+	}
+	n := r.n
+	now := n.clk.Now()
+	if r.complete() {
+		r.finish(now)
+		return
+	}
+	switch r.phase {
+	case 1:
+		covered := r.cdiCovers()
+		quiet := now-r.lastCDIUpdate >= n.cfg.CDIWindow
+		switch {
+		case covered:
+			r.enterPhase2(now)
+		case quiet && r.knownChunks() > 0:
+			// Partial knowledge after a quiet window: request what we
+			// can; the phase-2 watchdog will re-run CDI for the rest.
+			r.enterPhase2(now)
+		case quiet:
+			// No CDI at all: re-flood unless out of budget.
+			if r.rounds >= n.cfg.RetrievalRounds {
+				r.finish(now)
+				return
+			}
+			r.startCDIRound()
+		}
+	case 2:
+		// Keep the request window full; stale requests re-issue here.
+		r.topUp(now)
+		// No chunk progress for a whole ChunkRetry since the cycle
+		// began: the routes have gone bad regardless of how many
+		// re-requests are still being issued. Fall back to a fresh CDI
+		// round (bounded by RetrievalRounds).
+		if now-r.lastChunkAt >= n.cfg.ChunkRetry && now-r.lastRoundAt >= n.cfg.ChunkRetry {
+			if r.rounds >= n.cfg.RetrievalRounds {
+				r.finish(now)
+				return
+			}
+			r.startCDIRound()
+		}
+	}
+}
+
+// cdiCovers reports whether every missing chunk has a routing option.
+func (r *retrieval) cdiCovers() bool {
+	now := r.n.clk.Now()
+	for _, c := range r.missing() {
+		if len(r.n.cdi.Lookup(r.itemKey, c, now)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// knownChunks counts missing chunks that have at least one CDI option.
+func (r *retrieval) knownChunks() int {
+	now := r.n.clk.Now()
+	k := 0
+	for _, c := range r.missing() {
+		if len(r.n.cdi.Lookup(r.itemKey, c, now)) > 0 {
+			k++
+		}
+	}
+	return k
+}
+
+// enterPhase2 starts the windowed chunk-request loop.
+func (r *retrieval) enterPhase2(now time.Duration) {
+	r.phase = 2
+	if r.phase2Start == 0 {
+		r.phase2Start = now
+	}
+	r.lastRoundAt = now
+	r.topUp(now)
+}
+
+// retryAfter returns how long a requested chunk stays blocked before it
+// becomes eligible for re-request: a few typical chunk service times,
+// clamped to [2s, ChunkRetry]. Fast networks reclaim stalled slots in
+// seconds; the configured ceiling still bounds duplicate requests when
+// service times are genuinely long.
+func (r *retrieval) retryAfter() time.Duration {
+	retry := r.n.cfg.ChunkRetry
+	if r.chunkEWMA > 0 {
+		adaptive := 5 * r.chunkEWMA
+		if adaptive < 5*time.Second {
+			adaptive = 5 * time.Second
+		}
+		if adaptive < retry {
+			retry = adaptive
+		}
+	}
+	return retry
+}
+
+// topUp keeps up to OutstandingChunks chunks requested-but-undelivered,
+// balancing each batch across least-hop neighbors (§IV-B). Chunks whose
+// requests have aged past the adaptive retry window become eligible
+// again, typically after OnSendFailure dropped the dead route.
+func (r *retrieval) topUp(now time.Duration) {
+	if r.phase != 2 || r.done {
+		return
+	}
+	n := r.n
+	window := n.cfg.OutstandingChunks
+	if window <= 0 {
+		window = 1 << 20 // unlimited: request everything at once
+	}
+	retry := r.retryAfter()
+	outstanding := 0
+	var eligible []int
+	for _, c := range r.missing() {
+		if at, ok := r.requestedAt[c]; ok && now-at < retry {
+			outstanding++
+		} else {
+			eligible = append(eligible, c)
+		}
+	}
+	budget := window - outstanding
+	if budget <= 0 || len(eligible) == 0 {
+		return
+	}
+	if budget > len(eligible) {
+		budget = len(eligible)
+	}
+	batch := eligible[:budget]
+	sent := n.sendChunkQueries(r.item, batch, n.id, 0)
+	if len(sent) == 0 {
+		return // no routes: leave the watchdog to trigger a CDI round
+	}
+	for _, c := range sent {
+		r.requestedAt[c] = now
+	}
+	r.lastRequestAt = now
+}
+
+// finish reports the result exactly once.
+func (r *retrieval) finish(now time.Duration) {
+	if r.done {
+		return
+	}
+	r.done = true
+	if r.cancelCheck != nil {
+		r.cancelCheck()
+	}
+	if n := r.n; n.retrievals[r.itemKey] == r {
+		delete(n.retrievals, r.itemKey)
+	}
+	chunks := make(map[int][]byte)
+	for _, c := range r.n.ds.ChunksHeld(r.itemKey) {
+		if c < r.total {
+			if p, ok := r.n.ds.ChunkPayload(r.itemKey, c); ok {
+				chunks[c] = p
+			}
+		}
+	}
+	cdiLat := time.Duration(0)
+	if r.phase2Start > 0 {
+		cdiLat = r.phase2Start - r.start
+	}
+	res := RetrievalResult{
+		Item:       r.item,
+		Chunks:     chunks,
+		Complete:   len(chunks) == r.total,
+		CDILatency: cdiLat,
+		Latency:    r.lastChunkAt - r.start,
+		Duration:   now - r.start,
+		Rounds:     r.rounds,
+	}
+	if r.cb != nil {
+		r.cb(res)
+	}
+}
+
+// notifyChunk is called when a chunk payload lands in the store; it
+// completes sessions and resets watchdogs.
+func (n *Node) notifyChunk(chunkDesc attr.Descriptor, now time.Duration) {
+	itemKey := chunkDesc.ItemDescriptor().Key()
+	r, ok := n.retrievals[itemKey]
+	if !ok || r.done {
+		return
+	}
+	if r.lastChunkAt > r.start {
+		interval := now - r.lastChunkAt
+		if r.chunkEWMA == 0 {
+			r.chunkEWMA = interval
+		} else {
+			r.chunkEWMA = (3*r.chunkEWMA + interval) / 4
+		}
+	}
+	r.lastChunkAt = now
+	if r.progress != nil {
+		r.progress(r.total-len(r.missing()), r.total)
+	}
+	if r.complete() {
+		r.finish(now)
+		return
+	}
+	r.topUp(now)
+}
+
+// notifyCDI is called when CDI updates land; phase-1 sessions use it to
+// detect quiescence.
+func (n *Node) notifyCDI(itemKey string, now time.Duration) {
+	if r, ok := n.retrievals[itemKey]; ok && !r.done {
+		r.lastCDIUpdate = now
+	}
+}
+
+// --- CDI plane -----------------------------------------------------
+
+// cdiPairsFor merges locally held chunks (hop 0) with the CDI table's
+// pairs: the contents of a CDI response from this node (§IV-A).
+func (n *Node) cdiPairsFor(itemKey string, now time.Duration) []wire.CDIPair {
+	local := n.ds.ChunksHeld(itemKey)
+	pairs := n.cdi.Pairs(itemKey, now)
+	merged := make(map[int]int, len(local)+len(pairs))
+	for _, p := range pairs {
+		merged[p.ChunkID] = p.HopCount
+	}
+	for _, c := range local {
+		merged[c] = 0
+	}
+	out := make([]wire.CDIPair, 0, len(merged))
+	for c, h := range merged {
+		out = append(out, wire.CDIPair{ChunkID: c, HopCount: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ChunkID < out[j].ChunkID })
+	return out
+}
+
+// respondCDI answers a CDI query from local chunks and CDI entries.
+func (n *Node) respondCDI(q *wire.Query) {
+	now := n.clk.Now()
+	pairs := n.cdiPairsFor(q.Item.Key(), now)
+	if len(pairs) == 0 {
+		return
+	}
+	r := &wire.Response{
+		ID:        n.newID(),
+		Kind:      wire.KindCDI,
+		Sender:    n.id,
+		Receivers: []wire.NodeID{q.Sender},
+		Serves:    []wire.Serve{{Node: q.Sender, QueryID: q.ID}},
+		Item:      q.Item,
+		CDI:       pairs,
+	}
+	n.stats.ResponsesSent++
+	n.sendJittered(&wire.Message{Type: wire.TypeResponse, Response: r}, n.cfg.ResponseJitterMax)
+}
+
+// relayCDI forwards a CDI response along the reverse paths of the CDI
+// queries it was addressed under, rewriting the pairs to this node's
+// own (just updated) distances — the distance-vector step of §IV-A.
+func (n *Node) relayCDI(r *wire.Response, now time.Duration) {
+	itemKey := r.Item.Key()
+	recv := make(map[wire.NodeID]bool)
+	serves := make(map[wire.Serve]bool)
+	for _, qid := range n.myRoles(r) {
+		lq, ok := n.lqt.Get(qid, now)
+		if !ok || lq.Query.Kind != wire.KindCDI || lq.Query.Item.Key() != itemKey {
+			continue
+		}
+		if lq.Query.Origin == n.id {
+			continue
+		}
+		recv[lq.Query.Sender] = true
+		serves[wire.Serve{Node: lq.Query.Sender, QueryID: qid}] = true
+	}
+	if len(recv) == 0 {
+		return
+	}
+	pairs := n.cdiPairsFor(itemKey, now)
+	if len(pairs) == 0 {
+		return
+	}
+	fwd := &wire.Response{
+		ID:        n.newID(),
+		Kind:      wire.KindCDI,
+		Sender:    n.id,
+		Receivers: sortedIDs(recv),
+		Serves:    sortedServes(serves),
+		Item:      r.Item,
+		CDI:       pairs,
+	}
+	n.stats.ResponsesRelayed++
+	n.transmit(&wire.Message{Type: wire.TypeResponse, Response: fwd})
+}
+
+// --- Chunk plane -----------------------------------------------------
+
+// sendChunkQueries balances the wanted chunks over the neighbors that
+// CDI says are nearest and sends one directed chunk query to each. It
+// excludes routes via `exclude` (the upstream sender, to avoid
+// ping-pong). Chunks without any route are dropped here; the consumer
+// watchdog re-runs CDI for them. It returns the chunks actually
+// requested, sorted.
+func (n *Node) sendChunkQueries(item attr.Descriptor, chunks []int, origin wire.NodeID, exclude wire.NodeID) []int {
+	if len(chunks) == 0 {
+		return nil
+	}
+	now := n.clk.Now()
+	itemKey := item.Key()
+	req := assign.Request{Chunks: chunks, Options: make([][]assign.Option, len(chunks))}
+	for i, c := range chunks {
+		for _, e := range n.cdi.Lookup(itemKey, c, now) {
+			if e.Neighbor == exclude || e.Neighbor == n.id {
+				continue
+			}
+			req.Options[i] = append(req.Options[i], assign.Option{Neighbor: e.Neighbor, Hop: e.HopCount})
+		}
+	}
+	var res assign.Result
+	if n.cfg.LoadBalanceEnabled {
+		res = assign.Balance(req)
+	} else {
+		res = assign.NearestOnly(req)
+	}
+	neighbors := make([]wire.NodeID, 0, len(res.ByNeighbor))
+	for nb := range res.ByNeighbor {
+		neighbors = append(neighbors, nb)
+	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	var sent []int
+	for _, nb := range neighbors {
+		q := &wire.Query{
+			ID:        n.newID(),
+			Kind:      wire.KindChunk,
+			TTL:       n.cfg.QueryTTL,
+			Sender:    n.id,
+			Receivers: []wire.NodeID{nb},
+			Origin:    origin,
+			Item:      item,
+			ChunkIDs:  res.ByNeighbor[nb],
+		}
+		n.stats.SubQueriesSent++
+		sent = append(sent, res.ByNeighbor[nb]...)
+		n.transmit(&wire.Message{Type: wire.TypeQuery, Query: q})
+	}
+	sort.Ints(sent)
+	return sent
+}
+
+// handleChunkQuery serves held chunks toward the sender and recursively
+// divides the rest among nearest neighbors (§IV-B). Unlike the flooded
+// planes, chunk queries are directed: only intended receivers act, so a
+// chunk is never served twice.
+func (n *Node) handleChunkQuery(q *wire.Query) {
+	if len(q.Receivers) > 0 && !containsID(q.Receivers, n.id) {
+		return
+	}
+	now := n.clk.Now()
+	if n.lqt.Exists(q.ID, now) {
+		n.stats.QueriesDuplicate++
+		return
+	}
+
+	itemKey := q.Item.Key()
+	// Cycle damping: chunks already wanted on behalf of the same origin
+	// by another lingering query are being fetched already; drop them
+	// from this query. Chunk lingering queries expire quickly (see
+	// chunkLinger below), so a dead chain only damps retries briefly.
+	inFlight := make(map[int]bool)
+	for _, lq := range n.lqt.MatchItem(wire.KindChunk, itemKey, now) {
+		if lq.Query.Origin == q.Origin {
+			for _, c := range lq.Query.ChunkIDs {
+				inFlight[c] = true
+			}
+		}
+	}
+
+	var held, missing []int
+	for _, c := range q.ChunkIDs {
+		switch {
+		case n.ds.HasPayload(q.Item.WithChunk(c)):
+			held = append(held, c)
+		case inFlight[c]:
+			// Another query chain is already fetching it; the relayed
+			// response will match this lingering query too.
+		default:
+			missing = append(missing, c)
+		}
+	}
+
+	// Linger with the still-missing set so returning chunks route back
+	// to q.Sender. Held chunks are served directly and need no routing.
+	// The lingering TTL is short: a chunk chain either makes progress
+	// within seconds or is dead, and a dead chain must stop damping
+	// retries quickly (flooded discovery queries keep the long TTL).
+	chunkLinger := q.TTL
+	if chunkLinger > n.cfg.ChunkRetry/2 {
+		chunkLinger = n.cfg.ChunkRetry / 2
+	}
+	lq := *q
+	lq.ChunkIDs = append([]int(nil), missing...)
+	n.lqt.Insert(&lq, now+chunkLinger)
+
+	// Recurse first (sub-queries are small; chunk payloads would delay
+	// them in the pacing queue).
+	n.sendChunkQueries(q.Item, missing, q.Origin, q.Sender)
+
+	// Serve held chunks, one response message per chunk (§VI-A: 256 KB
+	// chunks transmit as a unit).
+	for _, c := range held {
+		payload, ok := n.ds.ChunkPayload(itemKey, c)
+		if !ok {
+			continue
+		}
+		r := &wire.Response{
+			ID:        n.newID(),
+			Kind:      wire.KindChunk,
+			Sender:    n.id,
+			Receivers: []wire.NodeID{q.Sender},
+			Item:      q.Item,
+			Blobs:     []wire.Blob{{Desc: q.Item.WithChunk(c), Payload: payload}},
+		}
+		n.stats.ResponsesSent++
+		n.transmit(&wire.Message{Type: wire.TypeResponse, Response: r})
+	}
+}
+
+// relayChunks forwards chunk payloads along the reverse paths of
+// lingering chunk queries that still want them, consuming the wanted
+// sets so each chunk travels each edge at most once per consumer chain.
+func (n *Node) relayChunks(r *wire.Response, now time.Duration) {
+	itemKey := r.Item.Key()
+	matching := n.lqt.MatchItem(wire.KindChunk, itemKey, now)
+	for _, b := range r.Blobs {
+		cid, ok := b.Desc.ChunkID()
+		if !ok {
+			continue
+		}
+		recv := make(map[wire.NodeID]bool)
+		for _, lq := range matching {
+			idx := indexOf(lq.Query.ChunkIDs, cid)
+			if idx < 0 {
+				continue
+			}
+			// Consume: this lingering query no longer waits for cid.
+			lq.Query.ChunkIDs = append(lq.Query.ChunkIDs[:idx], lq.Query.ChunkIDs[idx+1:]...)
+			if lq.Query.Origin != n.id {
+				recv[lq.Query.Sender] = true
+			}
+		}
+		if len(recv) == 0 {
+			continue
+		}
+		fwd := &wire.Response{
+			ID:        n.newID(),
+			Kind:      wire.KindChunk,
+			Sender:    n.id,
+			Receivers: sortedIDs(recv),
+			Item:      r.Item,
+			Blobs:     []wire.Blob{b},
+		}
+		n.stats.ResponsesRelayed++
+		n.transmit(&wire.Message{Type: wire.TypeResponse, Response: fwd})
+	}
+}
+
+// OnSendFailure lets the deployment report per-hop delivery give-ups
+// (link layer exhausting retransmissions). For directed chunk queries,
+// the route via the unreachable neighbor is dropped so the next attempt
+// re-balances around it; a consumer's own failed request additionally
+// frees the affected chunks' window slots immediately instead of
+// waiting out the retry timer.
+func (n *Node) OnSendFailure(msg *wire.Message, unacked []wire.NodeID) {
+	if msg.Type != wire.TypeQuery || msg.Query == nil || msg.Query.Kind != wire.KindChunk {
+		return
+	}
+	q := msg.Query
+	itemKey := q.Item.Key()
+	for _, nb := range unacked {
+		n.cdi.DropNeighbor(itemKey, nb)
+	}
+	if q.Origin == n.id {
+		if r, ok := n.retrievals[itemKey]; ok && !r.done {
+			for _, c := range q.ChunkIDs {
+				delete(r.requestedAt, c)
+			}
+			r.topUp(n.clk.Now())
+		}
+	}
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

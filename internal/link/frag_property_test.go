@@ -1,0 +1,91 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/wire"
+)
+
+// TestQuickFragmentDeliveryUnderLoss property-tests the ARQ: for any
+// loss pattern that drops each frame with probability < 1 on each
+// attempt (bounded retries make certainty impossible only for adversarial
+// full loss), a fragmented message either arrives intact exactly once or
+// the sender reports a give-up. No partial or duplicate deliveries.
+func TestQuickFragmentDeliveryUnderLoss(t *testing.T) {
+	f := func(seed int64, sizeKB uint8, lossPct uint8) bool {
+		size := (int(sizeKB)%24 + 1) * 1024
+		loss := float64(lossPct%60) / 100 // 0..59%
+		rng := rand.New(rand.NewSource(seed))
+
+		p := newPipe(t, testConfig(), testConfig())
+		p.dropAtoB = func(n int) bool { return rng.Float64() < loss }
+
+		gaveUp := false
+		p.a.OnGiveUp = func(*wire.Message, []wire.NodeID) { gaveUp = true }
+
+		payload := make([]byte, size)
+		rng.Read(payload)
+		msg := &wire.Message{
+			Type: wire.TypeResponse,
+			Response: &wire.Response{
+				ID:        1,
+				Kind:      wire.KindChunk,
+				Receivers: []wire.NodeID{2},
+				Blobs: []wire.Blob{{
+					Desc:    attr.NewDescriptor().Set("c", attr.Int(0)),
+					Payload: payload,
+				}},
+			},
+		}
+		p.a.Send(msg)
+		p.eng.Run(5 * time.Minute)
+
+		switch len(p.deliveredB) {
+		case 0:
+			return gaveUp // silent loss without give-up is a bug
+		case 1:
+			got := p.deliveredB[0]
+			if got.Response == nil || len(got.Response.Blobs) != 1 {
+				return false
+			}
+			gp := got.Response.Blobs[0].Payload
+			if len(gp) != size {
+				return false
+			}
+			for i := range gp {
+				if gp[i] != payload[i] {
+					return false
+				}
+			}
+			return true
+		default:
+			return false // duplicate delivery
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAckNeverLeaksPending property-tests that every pending entry
+// resolves (ack or give-up) — no timer leaks under random loss.
+func TestQuickAckNeverLeaksPending(t *testing.T) {
+	f := func(seed int64, nMsgs uint8, lossPct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		loss := float64(lossPct%80) / 100
+		p := newPipe(t, testConfig(), testConfig())
+		p.dropAtoB = func(int) bool { return rng.Float64() < loss }
+		for i := 0; i < int(nMsgs)%10+1; i++ {
+			p.a.Send(smallResponse(uint64(i+1), 2))
+		}
+		p.eng.Run(5 * time.Minute)
+		return p.a.PendingAcks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package metrics defines the evaluation measures of §VI-A — recall,
+// latency and message overhead — and small helpers for aggregating
+// repeated runs and printing result tables.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is one experiment run's outcome.
+type Sample struct {
+	// Recall is the fraction of distinct metadata entries or chunks
+	// received by the consumer (§VI-A).
+	Recall float64
+	// Latency is the time from the consumer sending the query to the
+	// arrival of the last returned entry or chunk (§VI-A).
+	Latency time.Duration
+	// OverheadBytes is the total bytes of all transmitted messages
+	// (§VI-A uses message overhead as the energy/cost proxy).
+	OverheadBytes uint64
+	// Rounds is the number of discovery/retrieval rounds used.
+	Rounds float64
+}
+
+// Mean averages the samples (zero value for an empty slice).
+func Mean(samples []Sample) Sample {
+	if len(samples) == 0 {
+		return Sample{}
+	}
+	var out Sample
+	var lat float64
+	for _, s := range samples {
+		out.Recall += s.Recall
+		lat += float64(s.Latency)
+		out.OverheadBytes += s.OverheadBytes
+		out.Rounds += s.Rounds
+	}
+	n := float64(len(samples))
+	out.Recall /= n
+	out.Latency = time.Duration(lat / n)
+	out.OverheadBytes = uint64(float64(out.OverheadBytes) / n)
+	out.Rounds /= n
+	return out
+}
+
+// MB renders bytes as megabytes with two decimals, the unit the paper
+// reports overhead in.
+func MB(b uint64) string { return fmt.Sprintf("%.2fMB", float64(b)/1e6) }
+
+// Seconds renders a duration in seconds with one decimal.
+func Seconds(d time.Duration) string { return fmt.Sprintf("%.1fs", d.Seconds()) }
+
+// Point is one x position of a result series.
+type Point struct {
+	X      float64
+	Label  string
+	Sample Sample
+}
+
+// Series is a labeled sweep result (one figure line).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x float64, label string, sample Sample) {
+	s.Points = append(s.Points, Point{X: x, Label: label, Sample: sample})
+}
+
+// String renders the series as an aligned table with the paper's units.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	fmt.Fprintf(&b, "  %-14s %8s %10s %12s %7s\n", "x", "recall", "latency", "overhead", "rounds")
+	for _, p := range s.Points {
+		label := p.Label
+		if label == "" {
+			label = fmt.Sprintf("%g", p.X)
+		}
+		fmt.Fprintf(&b, "  %-14s %8.3f %10s %12s %7.1f\n",
+			label, p.Sample.Recall, Seconds(p.Sample.Latency), MB(p.Sample.OverheadBytes), p.Sample.Rounds)
+	}
+	return b.String()
+}
+
+// Table renders several series side by side on the shared x labels,
+// showing the chosen field ("recall", "latency", "overhead", "rounds").
+func Table(field string, series ...*Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	labels := make([]string, 0)
+	seen := make(map[string]bool)
+	for _, s := range series {
+		for _, p := range s.Points {
+			l := p.Label
+			if l == "" {
+				l = fmt.Sprintf("%g", p.X)
+			}
+			if !seen[l] {
+				seen[l] = true
+				labels = append(labels, l)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", field)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%-14s", l)
+		for _, s := range series {
+			v := "-"
+			for _, p := range s.Points {
+				pl := p.Label
+				if pl == "" {
+					pl = fmt.Sprintf("%g", p.X)
+				}
+				if pl == l {
+					switch field {
+					case "recall":
+						v = fmt.Sprintf("%.3f", p.Sample.Recall)
+					case "latency":
+						v = Seconds(p.Sample.Latency)
+					case "overhead":
+						v = MB(p.Sample.OverheadBytes)
+					case "rounds":
+						v = fmt.Sprintf("%.1f", p.Sample.Rounds)
+					}
+					break
+				}
+			}
+			fmt.Fprintf(&b, " %14s", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Quantile returns the q-quantile (0..1) of the values, interpolating
+// linearly; it is used by prototype-style latency summaries.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

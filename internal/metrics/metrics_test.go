@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != (Sample{}) {
+		t.Fatalf("Mean(nil) = %+v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	got := Mean([]Sample{
+		{Recall: 1.0, Latency: 2 * time.Second, OverheadBytes: 100, Rounds: 2},
+		{Recall: 0.5, Latency: 4 * time.Second, OverheadBytes: 300, Rounds: 4},
+	})
+	if got.Recall != 0.75 {
+		t.Fatalf("Recall = %v", got.Recall)
+	}
+	if got.Latency != 3*time.Second {
+		t.Fatalf("Latency = %v", got.Latency)
+	}
+	if got.OverheadBytes != 200 {
+		t.Fatalf("Overhead = %v", got.OverheadBytes)
+	}
+	if got.Rounds != 3 {
+		t.Fatalf("Rounds = %v", got.Rounds)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := MB(5_130_000); got != "5.13MB" {
+		t.Fatalf("MB = %q", got)
+	}
+	if got := Seconds(5600 * time.Millisecond); got != "5.6s" {
+		t.Fatalf("Seconds = %q", got)
+	}
+}
+
+func TestSeriesString(t *testing.T) {
+	s := &Series{Name: "test"}
+	s.Add(1, "one", Sample{Recall: 0.5, Latency: time.Second, OverheadBytes: 1e6})
+	s.Add(2, "", Sample{Recall: 1})
+	out := s.String()
+	for _, want := range []string{"test", "one", "0.500", "1.0s", "1.00MB", "2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	a := &Series{Name: "A"}
+	a.Add(1, "x1", Sample{Recall: 0.25})
+	b := &Series{Name: "B"}
+	b.Add(1, "x1", Sample{Recall: 0.75})
+	b.Add(2, "x2", Sample{Recall: 1})
+	out := Table("recall", a, b)
+	for _, want := range []string{"A", "B", "x1", "x2", "0.250", "0.750", "1.000", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if Table("recall") != "" {
+		t.Fatal("empty table not empty")
+	}
+	// Other fields render without crashing.
+	for _, f := range []string{"latency", "overhead", "rounds"} {
+		if out := Table(f, a); out == "" {
+			t.Fatalf("Table(%q) empty", f)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tt := range tests {
+		if got := Quantile(vals, tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("Quantile(nil) != 0")
+	}
+	// Input must not be mutated.
+	if vals[0] != 4 {
+		t.Fatal("Quantile sorted the input in place")
+	}
+}

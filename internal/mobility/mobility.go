@@ -1,0 +1,262 @@
+// Package mobility generates node placements and movement traces.
+//
+// The paper evaluates PDS under traces derived from 8 hours of
+// observation at two university locations (§VI-B.2): a Student Center
+// (120×120 m, ~20 people present, ~1 join and 1 leave per minute,
+// ~4 in-area moves per minute) and Classrooms (20×20 m, ~30 people,
+// ~0.5 join/leave, ~0.5 moves per minute). We generate synthetic traces
+// from exactly those aggregate rates, scaled ×0.5–×2 as the paper does.
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pds/internal/radio"
+)
+
+// GridPositions returns rows×cols positions spaced uniformly, with the
+// top-left node at (spacing, spacing). With the default radio range and
+// 30 m spacing each interior node reaches exactly its 8 surrounding
+// neighbors, the layout of §VI-A.
+func GridPositions(rows, cols int, spacing float64) []radio.Pos {
+	out := make([]radio.Pos, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, radio.Pos{
+				X: spacing * float64(c+1),
+				Y: spacing * float64(r+1),
+			})
+		}
+	}
+	return out
+}
+
+// CenterIndex returns the index (into GridPositions order) of the node
+// closest to the grid center — where the paper places its consumer.
+func CenterIndex(rows, cols int) int {
+	return (rows/2)*cols + cols/2
+}
+
+// CenterSubgridIndices returns indices of the centered sub×sub subgrid,
+// where multiple consumers are placed (§VI-A: "the center 5 by 5
+// subgrid").
+func CenterSubgridIndices(rows, cols, sub int) []int {
+	r0 := (rows - sub) / 2
+	c0 := (cols - sub) / 2
+	var out []int
+	for r := r0; r < r0+sub && r < rows; r++ {
+		for c := c0; c < c0+sub && c < cols; c++ {
+			if r >= 0 && c >= 0 {
+				out = append(out, r*cols+c)
+			}
+		}
+	}
+	return out
+}
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+// Trace event kinds. A Move is emitted as a sequence of Position events
+// along the walk, so consumers of a trace only ever apply Join, Leave
+// and Position.
+const (
+	Join EventKind = iota + 1
+	Leave
+	Position
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case Join:
+		return "join"
+	case Leave:
+		return "leave"
+	case Position:
+		return "position"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one trace step: at time At, node Node joins at Pos, leaves,
+// or is at Pos while walking.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	Node int
+	Pos  radio.Pos
+}
+
+// Trace is a time-sorted list of events plus the initial population.
+type Trace struct {
+	// Initial holds the positions of nodes 0..len(Initial)-1 present at
+	// time zero.
+	Initial []radio.Pos
+	// Events are sorted by At; node ids of joiners continue after the
+	// initial population.
+	Events []Event
+	// NextNode is the first unused node index.
+	NextNode int
+}
+
+// Profile holds the observed statistics a trace is generated from.
+type Profile struct {
+	// Width, Height bound the area in meters.
+	Width, Height float64
+	// Population is the steady-state number of people present.
+	Population int
+	// JoinPerMin, LeavePerMin, MovePerMin are the observed event rates.
+	JoinPerMin  float64
+	LeavePerMin float64
+	MovePerMin  float64
+	// WalkSpeed is the walking speed in m/s for in-area moves.
+	WalkSpeed float64
+	// StepInterval is how often a walking node's position is emitted.
+	StepInterval time.Duration
+}
+
+// StudentCenter returns the Student Center profile (§VI-B.2).
+func StudentCenter() Profile {
+	return Profile{
+		Width: 120, Height: 120,
+		Population:   20,
+		JoinPerMin:   1,
+		LeavePerMin:  1,
+		MovePerMin:   4,
+		WalkSpeed:    1.2,
+		StepInterval: time.Second,
+	}
+}
+
+// Classroom returns the Classrooms profile (§VI-B.2).
+func Classroom() Profile {
+	return Profile{
+		Width: 20, Height: 20,
+		Population:   30,
+		JoinPerMin:   0.5,
+		LeavePerMin:  0.5,
+		MovePerMin:   0.5,
+		WalkSpeed:    1.2,
+		StepInterval: time.Second,
+	}
+}
+
+// Scale multiplies the join/leave/move rates, the paper's ×0.5–×2 sweep.
+func (p Profile) Scale(f float64) Profile {
+	p.JoinPerMin *= f
+	p.LeavePerMin *= f
+	p.MovePerMin *= f
+	return p
+}
+
+// Generate builds a trace of the given duration from the profile using
+// Poisson-like exponential inter-arrival times for joins, leaves and
+// moves, all drawn from rng for reproducibility.
+func (p Profile) Generate(duration time.Duration, rng *rand.Rand) Trace {
+	t := Trace{}
+	uniformPos := func() radio.Pos {
+		return radio.Pos{X: rng.Float64() * p.Width, Y: rng.Float64() * p.Height}
+	}
+	for i := 0; i < p.Population; i++ {
+		t.Initial = append(t.Initial, uniformPos())
+	}
+	t.NextNode = p.Population
+
+	present := make([]int, p.Population)
+	for i := range present {
+		present[i] = i
+	}
+
+	expDelay := func(perMin float64) time.Duration {
+		if perMin <= 0 {
+			return duration + time.Hour
+		}
+		mean := time.Minute.Seconds() / perMin
+		return time.Duration(rng.ExpFloat64() * mean * float64(time.Second))
+	}
+
+	var events []Event
+	nextJoin := expDelay(p.JoinPerMin)
+	nextLeave := expDelay(p.LeavePerMin)
+	nextMove := expDelay(p.MovePerMin)
+
+	for now := time.Duration(0); ; {
+		// Advance to the earliest pending event.
+		min := nextJoin
+		kind := Join
+		if nextLeave < min {
+			min, kind = nextLeave, Leave
+		}
+		if nextMove < min {
+			min, kind = nextMove, Position
+		}
+		now = min
+		if now > duration {
+			break
+		}
+		switch kind {
+		case Join:
+			id := t.NextNode
+			t.NextNode++
+			present = append(present, id)
+			events = append(events, Event{At: now, Kind: Join, Node: id, Pos: uniformPos()})
+			nextJoin = now + expDelay(p.JoinPerMin)
+		case Leave:
+			if len(present) > 1 {
+				i := rng.Intn(len(present))
+				id := present[i]
+				present = append(present[:i], present[i+1:]...)
+				events = append(events, Event{At: now, Kind: Leave, Node: id})
+			}
+			nextLeave = now + expDelay(p.LeavePerMin)
+		case Position:
+			if len(present) > 0 {
+				id := present[rng.Intn(len(present))]
+				dest := uniformPos()
+				events = append(events, walk(now, id, dest, p, rng)...)
+			}
+			nextMove = now + expDelay(p.MovePerMin)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	t.Events = events
+	return t
+}
+
+// walk emits Position events along a straight line to dest. The start
+// position is not known here (the node may have moved before), so the
+// walk is emitted as absolute waypoints toward dest: consumers simply
+// apply each Position. The first waypoint is emitted one step interval
+// after the move begins.
+func walk(start time.Duration, node int, dest radio.Pos, p Profile, rng *rand.Rand) []Event {
+	// Approximate the walk length by a random plausible distance within
+	// the area (the true origin is tracked by the applier; interpolation
+	// fidelity matters less than position-change cadence).
+	steps := 1 + rng.Intn(5)
+	var out []Event
+	for i := 1; i <= steps; i++ {
+		frac := float64(i) / float64(steps)
+		// Without the origin we emit points converging on dest; the
+		// final event lands exactly on dest.
+		jitter := (1 - frac) * 10
+		pos := radio.Pos{
+			X: dest.X + (rng.Float64()*2-1)*jitter,
+			Y: dest.Y + (rng.Float64()*2-1)*jitter,
+		}
+		if i == steps {
+			pos = dest
+		}
+		out = append(out, Event{
+			At:   start + time.Duration(i)*p.StepInterval,
+			Kind: Position,
+			Node: node,
+			Pos:  pos,
+		})
+	}
+	return out
+}

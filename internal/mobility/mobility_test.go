@@ -1,0 +1,175 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGridPositions(t *testing.T) {
+	pos := GridPositions(3, 4, 30)
+	if len(pos) != 12 {
+		t.Fatalf("len = %d", len(pos))
+	}
+	if pos[0].X != 30 || pos[0].Y != 30 {
+		t.Fatalf("first = %+v", pos[0])
+	}
+	if pos[11].X != 120 || pos[11].Y != 90 {
+		t.Fatalf("last = %+v", pos[11])
+	}
+	// Horizontal neighbors are exactly spacing apart.
+	if d := pos[0].Dist(pos[1]); d != 30 {
+		t.Fatalf("spacing = %v", d)
+	}
+}
+
+func TestCenterIndex(t *testing.T) {
+	if got := CenterIndex(10, 10); got != 55 {
+		t.Fatalf("CenterIndex(10,10) = %d", got)
+	}
+	if got := CenterIndex(3, 3); got != 4 {
+		t.Fatalf("CenterIndex(3,3) = %d", got)
+	}
+}
+
+func TestCenterSubgridIndices(t *testing.T) {
+	idx := CenterSubgridIndices(10, 10, 5)
+	if len(idx) != 25 {
+		t.Fatalf("len = %d", len(idx))
+	}
+	for _, i := range idx {
+		r, c := i/10, i%10
+		if r < 2 || r > 6 || c < 2 || c > 6 {
+			t.Fatalf("index %d (r%d c%d) outside the center 5x5", i, r, c)
+		}
+	}
+}
+
+func TestProfilesMatchPaperObservation(t *testing.T) {
+	sc := StudentCenter()
+	if sc.Width != 120 || sc.Population != 20 || sc.MovePerMin != 4 {
+		t.Fatalf("student center profile = %+v", sc)
+	}
+	cr := Classroom()
+	if cr.Width != 20 || cr.Population != 30 || cr.JoinPerMin != 0.5 {
+		t.Fatalf("classroom profile = %+v", cr)
+	}
+	scaled := sc.Scale(2)
+	if scaled.JoinPerMin != 2 || scaled.MovePerMin != 8 {
+		t.Fatalf("scaling wrong: %+v", scaled)
+	}
+	if sc.JoinPerMin != 1 {
+		t.Fatal("Scale mutated the receiver")
+	}
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	tr := StudentCenter().Generate(10*time.Minute, rand.New(rand.NewSource(1)))
+	if len(tr.Initial) != 20 {
+		t.Fatalf("initial population = %d", len(tr.Initial))
+	}
+	joins, leaves, moves := 0, 0, 0
+	last := time.Duration(0)
+	present := make(map[int]bool)
+	for i := range tr.Initial {
+		present[i] = true
+	}
+	for _, ev := range tr.Events {
+		if ev.At < last {
+			t.Fatal("events out of order")
+		}
+		last = ev.At
+		switch ev.Kind {
+		case Join:
+			if present[ev.Node] {
+				t.Fatalf("node %d joined twice", ev.Node)
+			}
+			present[ev.Node] = true
+			joins++
+		case Leave:
+			if !present[ev.Node] {
+				t.Fatalf("node %d left while absent", ev.Node)
+			}
+			delete(present, ev.Node)
+			leaves++
+		case Position:
+			moves++
+			if ev.Pos.X < -15 || ev.Pos.X > 135 || ev.Pos.Y < -15 || ev.Pos.Y > 135 {
+				t.Fatalf("position far outside area: %+v", ev.Pos)
+			}
+		}
+	}
+	// ~1 join and ~1 leave per minute over 10 minutes: allow 3x slack
+	// for the exponential draws.
+	if joins < 3 || joins > 30 {
+		t.Fatalf("joins = %d over 10 min at 1/min", joins)
+	}
+	if leaves < 3 || leaves > 30 {
+		t.Fatalf("leaves = %d", leaves)
+	}
+	if moves == 0 {
+		t.Fatal("no movement events")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := StudentCenter().Generate(5*time.Minute, rand.New(rand.NewSource(7)))
+	b := StudentCenter().Generate(5*time.Minute, rand.New(rand.NewSource(7)))
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed, different event counts")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("same seed, different events")
+		}
+	}
+}
+
+// TestQuickLeaveOnlyPresentNodes property-tests that generated traces
+// never remove an absent node or move one that never joined.
+func TestQuickTraceConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := Classroom().Generate(8*time.Minute, rand.New(rand.NewSource(seed)))
+		present := make(map[int]bool)
+		ever := make(map[int]bool)
+		for i := range tr.Initial {
+			present[i] = true
+			ever[i] = true
+		}
+		for _, ev := range tr.Events {
+			switch ev.Kind {
+			case Join:
+				if present[ev.Node] {
+					return false
+				}
+				present[ev.Node] = true
+				ever[ev.Node] = true
+			case Leave:
+				if !present[ev.Node] {
+					return false
+				}
+				delete(present, ev.Node)
+			case Position:
+				if !ever[ev.Node] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroRateProfile(t *testing.T) {
+	p := Profile{Width: 10, Height: 10, Population: 3, StepInterval: time.Second}
+	tr := p.Generate(time.Minute, rand.New(rand.NewSource(1)))
+	if len(tr.Events) != 0 {
+		t.Fatalf("static profile produced %d events", len(tr.Events))
+	}
+	if len(tr.Initial) != 3 {
+		t.Fatalf("initial = %d", len(tr.Initial))
+	}
+}

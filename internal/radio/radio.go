@@ -1,0 +1,572 @@
+// Package radio models a broadcast wireless medium on top of the
+// discrete-event engine, replacing the paper's NS-3 substrate.
+//
+// The model keeps exactly the effects the PDS evaluation depends on:
+//
+//   - Broadcast with overhearing: every node within range of a
+//     transmitter receives (or loses) every frame, whether or not it is
+//     an intended receiver.
+//   - Airtime: a transmission occupies the channel for size·8/rate plus
+//     a fixed per-frame MAC overhead per 1.5 KB fragment, so large chunk
+//     messages are slow and collision-prone, as in §VI-B.
+//   - CSMA with hidden terminals: a node defers while it senses an
+//     in-range transmission, but two mutually out-of-range senders can
+//     still overlap at a common receiver, destroying the frame there.
+//     Loss therefore grows with concurrent senders and with hop count,
+//     which is what drives Figures 3–5.
+//   - OS send-buffer overflow: frames enter a finite per-node buffer
+//     drained at the MAC rate; when the application outruns the MAC the
+//     buffer tail-drops, reproducing the Android UDP behaviour of §V-2
+//     (~14% reception for unpaced senders).
+//
+// Positions, joins, leaves and moves may change at any time, driven by
+// package mobility.
+package radio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pds/internal/sim"
+	"pds/internal/wire"
+)
+
+// Pos is a planar position in meters.
+type Pos struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two positions.
+func (p Pos) Dist(q Pos) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Config parametrizes the medium. The defaults (see DefaultConfig) come
+// from the paper's prototype measurements (§V-2, §V-4).
+type Config struct {
+	// Range is the radio range in meters; nodes farther apart neither
+	// hear nor interfere with each other.
+	Range float64
+	// MACBitRate is the broadcast transmission rate in bits/second.
+	MACBitRate float64
+	// FrameBytes is the fragmentation unit; per-fragment MAC overhead
+	// is charged once per FrameBytes of message size.
+	FrameBytes int
+	// FrameOverhead is the fixed airtime cost per fragment (preamble,
+	// MAC header, inter-frame spacing).
+	FrameOverhead time.Duration
+	// OSBufferBytes is the per-node kernel send buffer capacity.
+	// Sends that would overflow it are dropped silently, as observed on
+	// the Android prototype.
+	OSBufferBytes int
+	// BaseLoss is the per-receiver probability that a frame is lost
+	// even without any collision (fading, noise).
+	BaseLoss float64
+	// SenseFactor scales Range to the carrier-sense / interference
+	// range: transmissions are sensed (and corrupt receptions) out to
+	// Range·SenseFactor. The default 1.9 makes a busy node's entire
+	// one-hop neighborhood mutually carrier-coordinated (on the grid,
+	// opposite corner neighbors sit 2·√2·30 ≈ 85 m apart, just inside
+	// 1.9·45 m): persistent hidden-terminal wars at a retrieval hub are
+	// geometrically impossible, which empirically beats smaller factors
+	// on both completion and latency. Residual overlaps are resolved by
+	// physical capture (CaptureMargin) and per-fragment
+	// ack/retransmission; transfers more than ~2 hops apart still
+	// pipeline concurrently.
+	SenseFactor float64
+	// SlotTime is the contention slot; backoffs are multiples of it.
+	SlotTime time.Duration
+	// CWSlots is the contention window width in slots (CWmin; broadcast
+	// never widens it since there are no MAC acks).
+	CWSlots int
+	// SenseLag is how long after a transmission starts it becomes
+	// audible to carrier sensing; two nodes starting within it collide.
+	SenseLag time.Duration
+	// CaptureMargin models physical-layer capture: a frame survives an
+	// overlap when every interferer is at least CaptureMargin times
+	// farther from the receiver than the frame's sender (the stronger
+	// signal captures the radio, as in NS-3's SINR reception model).
+	// Values <= 0 disable capture (any overlap destroys the frame).
+	CaptureMargin float64
+}
+
+// DefaultConfig returns the medium parameters from the paper: 7.2 Mbps
+// 802.11n broadcast MAC rate (§V-2), 1.5 KB frames, ~1 MB OS buffer (the
+// paper observed the first ~658 1.5 KB packets surviving). The effective
+// per-frame goodput lands near 6 Mbps, above the 4.5 Mbps leaky-bucket
+// pacing the prototype settled on.
+func DefaultConfig() Config {
+	return Config{
+		Range:         45,
+		MACBitRate:    7.2e6,
+		FrameBytes:    1500,
+		FrameOverhead: 200 * time.Microsecond,
+		OSBufferBytes: 1 << 20,
+		BaseLoss:      0.01,
+		SenseFactor:   1.9,
+		SlotTime:      9 * time.Microsecond,
+		CWSlots:       64,
+		SenseLag:      9 * time.Microsecond,
+		CaptureMargin: 1.25,
+	}
+}
+
+// Stats aggregates medium-wide counters. TxBytes over all transmissions
+// (including acks and retransmissions) is the paper's "message overhead"
+// metric.
+type Stats struct {
+	Transmissions uint64
+	TxBytes       uint64
+	Delivered     uint64
+	Collisions    uint64
+	RandomLosses  uint64
+	BufferDrops   uint64
+}
+
+type queuedFrame struct {
+	msg  *wire.Message
+	size int
+}
+
+type txRecord struct {
+	from       wire.NodeID
+	start, end time.Duration
+}
+
+// Radio is one node's attachment to the medium.
+type Radio struct {
+	m   *Medium
+	id  wire.NodeID
+	pos Pos
+	// deliver is invoked for every frame that survives to this node.
+	deliver func(*wire.Message)
+
+	queue        []queuedFrame
+	queuedBytes  int
+	transmitting bool
+	attemptArmed bool
+	gone         bool
+
+	// OnTransmitted, when set, is called as each frame's airtime ends —
+	// the moment an ack round-trip can meaningfully start. The link
+	// layer arms its retransmission timer from here.
+	OnTransmitted func(*wire.Message)
+
+	// Per-node counters, used by the Figure 3 reception-rate bench.
+	SentOK    uint64 // frames accepted into the OS buffer
+	SentDrop  uint64 // frames dropped at the OS buffer
+	Received  uint64 // frames delivered to this node
+	TxCount   uint64 // frames actually transmitted by this node
+	LastTxEnd time.Duration
+}
+
+// Medium is the shared broadcast channel.
+type Medium struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes map[wire.NodeID]*Radio
+	// history holds transmissions that may still overlap an active one.
+	history []txRecord
+	active  int // live (unfinished) transmissions
+	stats   Stats
+
+	// OnTransmit, when set, observes every transmission start (tracing).
+	OnTransmit func(from wire.NodeID, msg *wire.Message, size int)
+	// OnDeliver, when set, observes every successful delivery (tracing).
+	OnDeliver func(from, to wire.NodeID, msg *wire.Message)
+}
+
+// NewMedium creates a medium on the engine.
+func NewMedium(eng *sim.Engine, cfg Config) *Medium {
+	if cfg.Range <= 0 || cfg.MACBitRate <= 0 || cfg.FrameBytes <= 0 {
+		panic(fmt.Sprintf("radio: invalid config %+v", cfg))
+	}
+	return &Medium{eng: eng, cfg: cfg, nodes: make(map[wire.NodeID]*Radio)}
+}
+
+// Stats returns a snapshot of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Config returns the medium configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Attach adds a node at pos. deliver receives every surviving frame,
+// including overheard ones. Attaching an existing id panics: scenarios
+// must manage id uniqueness.
+func (m *Medium) Attach(id wire.NodeID, pos Pos, deliver func(*wire.Message)) *Radio {
+	if _, dup := m.nodes[id]; dup {
+		panic(fmt.Sprintf("radio: duplicate node id %d", id))
+	}
+	r := &Radio{m: m, id: id, pos: pos, deliver: deliver}
+	m.nodes[id] = r
+	return r
+}
+
+// Detach removes a node (mobility leave). In-flight frames are not
+// delivered to it, its queued frames are discarded.
+func (m *Medium) Detach(id wire.NodeID) {
+	if r, ok := m.nodes[id]; ok {
+		r.gone = true
+		delete(m.nodes, id)
+	}
+}
+
+// SetPosition moves a node.
+func (m *Medium) SetPosition(id wire.NodeID, pos Pos) {
+	if r, ok := m.nodes[id]; ok {
+		r.pos = pos
+	}
+}
+
+// Position returns a node's position.
+func (m *Medium) Position(id wire.NodeID) (Pos, bool) {
+	r, ok := m.nodes[id]
+	if !ok {
+		return Pos{}, false
+	}
+	return r.pos, true
+}
+
+// InRange reports whether two attached nodes are within radio range.
+func (m *Medium) InRange(a, b wire.NodeID) bool {
+	ra, ok := m.nodes[a]
+	if !ok {
+		return false
+	}
+	rb, ok := m.nodes[b]
+	if !ok {
+		return false
+	}
+	return ra.pos.Dist(rb.pos) <= m.cfg.Range
+}
+
+// Neighbors returns the ids of all nodes in range of id, excluding id.
+func (m *Medium) Neighbors(id wire.NodeID) []wire.NodeID {
+	self, ok := m.nodes[id]
+	if !ok {
+		return nil
+	}
+	var out []wire.NodeID
+	for nid, r := range m.nodes {
+		if nid != id && r.pos.Dist(self.pos) <= m.cfg.Range {
+			out = append(out, nid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodeIDs returns all attached node ids, sorted.
+func (m *Medium) NodeIDs() []wire.NodeID {
+	out := make([]wire.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// airtime returns how long a message of size bytes occupies the channel.
+func (m *Medium) airtime(size int) time.Duration {
+	frames := (size + m.cfg.FrameBytes - 1) / m.cfg.FrameBytes
+	if frames < 1 {
+		frames = 1
+	}
+	bits := float64(size) * 8
+	return time.Duration(bits/m.cfg.MACBitRate*float64(time.Second)) +
+		time.Duration(frames)*m.cfg.FrameOverhead
+}
+
+// senseRange returns the carrier-sense / interference radius.
+func (m *Medium) senseRange() float64 {
+	f := m.cfg.SenseFactor
+	if f < 1 {
+		f = 1
+	}
+	return m.cfg.Range * f
+}
+
+// busyUntil returns the latest end time of transmissions currently
+// audible at r (zero when the channel is idle). Unlike busyFor it
+// counts transmissions regardless of SenseLag: it estimates how long to
+// defer, not whether a collision occurs.
+func (m *Medium) busyUntil(r *Radio) time.Duration {
+	now := m.eng.Now()
+	sr := m.senseRange()
+	var until time.Duration
+	for i := range m.history {
+		rec := &m.history[i]
+		if rec.end <= now {
+			continue
+		}
+		tx, ok := m.nodes[rec.from]
+		if !ok {
+			continue
+		}
+		if tx.pos.Dist(r.pos) <= sr && rec.end > until {
+			until = rec.end
+		}
+	}
+	return until
+}
+
+// busyFor reports whether any active transmission is audible at r.
+// Transmissions younger than SenseLag are not yet sensed — that is the
+// vulnerable window in which two backoffs expiring in the same slot
+// collide.
+func (m *Medium) busyFor(r *Radio) bool {
+	if m.active == 0 {
+		return false
+	}
+	now := m.eng.Now()
+	sr := m.senseRange()
+	for i := range m.history {
+		rec := &m.history[i]
+		if rec.end <= now || now-rec.start < m.cfg.SenseLag {
+			continue
+		}
+		tx, ok := m.nodes[rec.from]
+		if !ok {
+			continue
+		}
+		if tx.pos.Dist(r.pos) <= sr {
+			return true
+		}
+	}
+	return false
+}
+
+// backoff returns a slotted random contention delay. Ack frames contend
+// in a short priority window of slots 0–3 ahead of every data frame
+// (slots 4..4+CW), modeling the SIFS precedence a real MAC gives
+// acknowledgements; the randomization within the window keeps several
+// receivers acking the same broadcast from always colliding.
+func (m *Medium) backoff(ack bool) time.Duration {
+	slot := m.cfg.SlotTime
+	if slot <= 0 {
+		slot = 9 * time.Microsecond
+	}
+	if ack {
+		return slot * time.Duration(m.eng.Rand().Intn(4))
+	}
+	cw := m.cfg.CWSlots
+	if cw < 1 {
+		cw = 1
+	}
+	return slot * time.Duration(4+m.eng.Rand().Intn(cw))
+}
+
+// Send enqueues a message for broadcast. It reports false when the OS
+// buffer is full and the frame was dropped — the failure mode the leaky
+// bucket in package link exists to avoid.
+func (r *Radio) Send(msg *wire.Message) bool {
+	if r.gone {
+		return false
+	}
+	size := wire.EncodedSize(msg)
+	if r.queuedBytes+size > r.m.cfg.OSBufferBytes {
+		r.SentDrop++
+		r.m.stats.BufferDrops++
+		return false
+	}
+	fr := queuedFrame{msg: msg, size: size}
+	if msg.Type == wire.TypeAck {
+		// Acks jump the transmit queue, modeling the SIFS-priority a
+		// real MAC gives acknowledgements; without this they starve
+		// behind queued 256 KB chunks and trigger spurious
+		// retransmissions.
+		r.queue = append([]queuedFrame{fr}, r.queue...)
+	} else {
+		r.queue = append(r.queue, fr)
+	}
+	r.queuedBytes += size
+	r.SentOK++
+	r.armAttempt(0)
+	return true
+}
+
+// QueuedBytes returns the current OS-buffer occupancy, which the leaky
+// bucket never lets approach capacity.
+func (r *Radio) QueuedBytes() int { return r.queuedBytes }
+
+// ID returns the node id of this radio.
+func (r *Radio) ID() wire.NodeID { return r.id }
+
+// Pos returns the node's current position.
+func (r *Radio) Pos() Pos { return r.pos }
+
+func (r *Radio) armAttempt(delay time.Duration) {
+	if r.attemptArmed || r.transmitting || len(r.queue) == 0 || r.gone {
+		return
+	}
+	r.attemptArmed = true
+	r.m.eng.Schedule(delay, func() {
+		r.attemptArmed = false
+		r.attempt()
+	})
+}
+
+// attempt runs the CSMA contention step. A node never transmits the
+// instant it finds the channel idle: it always draws a slotted backoff
+// first (deferred past the end of any audible transmission), re-senses
+// when the backoff expires, and only then transmits. Two nodes whose
+// backoffs land within SenseLag of each other both transmit and
+// collide — the standard slotted-contention vulnerability.
+func (r *Radio) attempt() {
+	if r.transmitting || len(r.queue) == 0 || r.gone {
+		return
+	}
+	m := r.m
+	wait := m.backoff(len(r.queue) > 0 && r.queue[0].msg.Type == wire.TypeAck)
+	if until := m.busyUntil(r); until > m.eng.Now() {
+		wait += until - m.eng.Now()
+	}
+	r.attemptArmed = true
+	m.eng.Schedule(wait, func() {
+		r.attemptArmed = false
+		r.transmitIfClear()
+	})
+}
+
+// transmitIfClear transmits the head-of-line frame unless the channel
+// became busy during the backoff, in which case it re-contends.
+func (r *Radio) transmitIfClear() {
+	if r.transmitting || len(r.queue) == 0 || r.gone {
+		return
+	}
+	if r.m.busyFor(r) {
+		r.attempt()
+		return
+	}
+	fr := r.queue[0]
+	r.queue = r.queue[1:]
+	r.queuedBytes -= fr.size
+	r.transmitting = true
+	r.TxCount++
+
+	m := r.m
+	now := m.eng.Now()
+	dur := m.airtime(fr.size)
+	rec := txRecord{from: r.id, start: now, end: now + dur}
+	m.history = append(m.history, rec)
+	m.active++
+	m.stats.Transmissions++
+	m.stats.TxBytes += uint64(fr.size)
+	if m.OnTransmit != nil {
+		m.OnTransmit(r.id, fr.msg, fr.size)
+	}
+
+	m.eng.Schedule(dur, func() {
+		r.transmitting = false
+		r.LastTxEnd = m.eng.Now()
+		if r.OnTransmitted != nil {
+			r.OnTransmitted(fr.msg)
+		}
+		m.finishTransmission(rec, fr.msg)
+		// Re-contend for the next frame; attempt draws a fresh backoff,
+		// so contending nodes interleave instead of one starving the
+		// rest.
+		r.armAttempt(0)
+	})
+}
+
+// finishTransmission delivers a completed frame to every in-range node,
+// applying collision and random-loss rules, then prunes history.
+func (m *Medium) finishTransmission(rec txRecord, msg *wire.Message) {
+	m.active--
+	sender, senderAlive := m.nodes[rec.from]
+	if senderAlive {
+		// Deliver in sorted id order: map iteration order would leak
+		// nondeterminism into RNG draws and event ordering, breaking
+		// the engine's reproducibility guarantee.
+		ids := make([]wire.NodeID, 0, len(m.nodes))
+		for id := range m.nodes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			rx := m.nodes[id]
+			if id == rec.from {
+				continue
+			}
+			if rx.pos.Dist(sender.pos) > m.cfg.Range {
+				continue
+			}
+			if m.collided(rec, rx, sender) {
+				m.stats.Collisions++
+				continue
+			}
+			if m.cfg.BaseLoss > 0 && m.eng.Rand().Float64() < m.cfg.BaseLoss {
+				m.stats.RandomLosses++
+				continue
+			}
+			rx.Received++
+			m.stats.Delivered++
+			if m.OnDeliver != nil {
+				m.OnDeliver(rec.from, id, msg)
+			}
+			if rx.deliver != nil {
+				rx.deliver(msg.Clone())
+			}
+		}
+	}
+	m.prune(rec.end)
+}
+
+// collided reports whether the frame was destroyed at rx: the receiver
+// was itself transmitting (half duplex), or a time-overlapping
+// transmission audible at rx was too strong for capture. With capture
+// enabled, the frame survives when its sender is decisively closer to
+// rx than every interferer, as a SINR receiver would decode it.
+func (m *Medium) collided(rec txRecord, rx *Radio, sender *Radio) bool {
+	dSig := sender.pos.Dist(rx.pos)
+	for i := range m.history {
+		o := &m.history[i]
+		if o.from == rec.from && o.start == rec.start {
+			continue // rec itself
+		}
+		if o.end <= rec.start || o.start >= rec.end {
+			continue // no time overlap
+		}
+		if o.from == rx.id {
+			return true // half duplex: rx was sending
+		}
+		tx, ok := m.nodes[o.from]
+		if !ok {
+			continue
+		}
+		// Interference reaches out to the sense range: a signal too
+		// weak to decode still corrupts concurrent reception.
+		dInt := tx.pos.Dist(rx.pos)
+		if dInt > m.senseRange() {
+			continue
+		}
+		if m.cfg.CaptureMargin > 0 && dInt >= dSig*m.cfg.CaptureMargin {
+			continue // captured: our signal dominates this interferer
+		}
+		return true
+	}
+	return false
+}
+
+// prune drops history records that can no longer overlap any live or
+// future transmission: everything that ended before the earliest start
+// of a still-active record and before now.
+func (m *Medium) prune(now time.Duration) {
+	earliest := now
+	for i := range m.history {
+		if m.history[i].end > now && m.history[i].start < earliest {
+			earliest = m.history[i].start
+		}
+	}
+	kept := m.history[:0]
+	for _, rec := range m.history {
+		if rec.end >= earliest {
+			kept = append(kept, rec)
+		}
+	}
+	m.history = kept
+}

@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"fmt"
+
+	"pds/internal/core"
+	"pds/internal/metrics"
+	"pds/internal/store"
+)
+
+// CachePolicyAblation compares cache-eviction policies under a bounded
+// per-node cache — the §VII future-work sketch ("data chunk caching
+// strategies based on their popularity"). The workload makes caching
+// matter: consumer 1 retrieves item A (seeding en-route caches), a
+// second retrieval of item B pollutes those caches, then consumer 3
+// retrieves A again. A popularity-aware policy preserves more of A's
+// chunks through the pollution, so the third retrieval stays cheap.
+func CachePolicyAblation(sizeMB int, seed int64, runs int) []*metrics.Series {
+	policies := []store.CachePolicy{store.EvictFIFO, store.EvictLRU, store.EvictLFU}
+	out := make([]*metrics.Series, 0, len(policies))
+	for _, policy := range policies {
+		s := &metrics.Series{Name: policy.String()}
+		samples := make([]metrics.Sample, 0, runs)
+		for r := 0; r < runs; r++ {
+			c := core.DefaultConfig()
+			c.CacheCap = sizeMB << 20 // cache holds ~one item
+			c.CachePolicy = policy
+			d := Grid(10, 10, GridSpacing, Options{Seed: seed + int64(r)*101, Core: c})
+
+			itemA := ItemDescriptor("popular", sizeMB<<20, DefaultChunkSize)
+			itemB := ItemDescriptor("oneoff", sizeMB<<20, DefaultChunkSize)
+			consumers := consumerIDs(d, 3, seed+int64(r))
+			itemA = d.DistributeChunks(itemA, DefaultChunkSize, 1, consumers[0])
+			itemB = d.DistributeChunks(itemB, DefaultChunkSize, 1, consumers[1])
+
+			if res, done := d.RunRetrieval(consumers[0], itemA, retrievalDeadline); !done || !res.Complete {
+				continue // degenerate run; skip from the average
+			}
+			if res, done := d.RunRetrieval(consumers[1], itemB, retrievalDeadline); !done || !res.Complete {
+				continue
+			}
+			before := d.Medium.Stats().TxBytes
+			res, done := d.RunRetrieval(consumers[2], itemA, retrievalDeadline)
+			if !done {
+				continue
+			}
+			samples = append(samples, metrics.Sample{
+				Recall:        float64(len(res.Chunks)) / float64(itemA.TotalChunks()),
+				Latency:       res.Latency,
+				OverheadBytes: d.Medium.Stats().TxBytes - before,
+			})
+		}
+		s.Add(1, fmt.Sprintf("%dMB item, %dMB cache", sizeMB, sizeMB), metrics.Mean(samples))
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+// Package scenario wires the substrates into runnable experiments: it
+// builds simulated deployments (grids, mobile areas), seeds data, runs
+// consumers and reports the §VI-A metrics. Every figure of the paper's
+// evaluation has a constructor here, used by cmd/pds-bench and the
+// bench_test.go targets.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/core"
+	"pds/internal/link"
+	"pds/internal/mobility"
+	"pds/internal/radio"
+	"pds/internal/sim"
+	"pds/internal/wire"
+)
+
+// Options configures a deployment. Zero values select the paper's
+// defaults.
+type Options struct {
+	Seed  int64
+	Radio radio.Config
+	Link  link.Config
+	Core  core.Config
+	// LinkConfigured marks Link as explicitly provided (a zero
+	// link.Config is a meaningful "everything off" setting).
+	LinkConfigured bool
+}
+
+func (o Options) withDefaults(eng *sim.Engine) Options {
+	if o.Radio.Range == 0 {
+		o.Radio = radio.DefaultConfig()
+	}
+	if !o.LinkConfigured {
+		o.Link = link.DefaultConfig(nil)
+	}
+	if o.Link.Jitter == nil {
+		o.Link.Jitter = func(max time.Duration) time.Duration {
+			if max <= 0 {
+				return 0
+			}
+			return time.Duration(eng.Rand().Int63n(int64(max)))
+		}
+	}
+	if o.Core.Window == 0 {
+		o.Core = core.DefaultConfig()
+	}
+	return o
+}
+
+// Peer bundles one node's protocol engine, link layer and radio.
+type Peer struct {
+	ID    wire.NodeID
+	Node  *core.Node
+	Link  *link.Link
+	Radio *radio.Radio
+}
+
+// Deployment is a simulated PDS network.
+type Deployment struct {
+	Eng    *sim.Engine
+	Medium *radio.Medium
+	Peers  map[wire.NodeID]*Peer
+	opts   Options
+	seed   int64
+	pinned map[wire.NodeID]bool
+}
+
+// New creates an empty deployment.
+func New(opts Options) *Deployment {
+	eng := sim.NewEngine(opts.Seed)
+	opts = opts.withDefaults(eng)
+	return &Deployment{
+		Eng:    eng,
+		Medium: radio.NewMedium(eng, opts.Radio),
+		Peers:  make(map[wire.NodeID]*Peer),
+		opts:   opts,
+		seed:   opts.Seed,
+	}
+}
+
+// AddPeer creates a node at the position, fully wired: radio delivery
+// feeds the link layer, surviving frames feed the protocol engine, and
+// link give-ups feed route invalidation.
+func (d *Deployment) AddPeer(id wire.NodeID, pos radio.Pos) *Peer {
+	p := &Peer{ID: id}
+	rng := rand.New(rand.NewSource(d.seed ^ (int64(id)+1)*0x5851f42d4c957f2d))
+	p.Radio = d.Medium.Attach(id, pos, func(msg *wire.Message) {
+		if up := p.Link.HandleIncoming(msg); up != nil {
+			p.Node.HandleMessage(up)
+		}
+	})
+	p.Link = link.New(d.Eng, id, p.Radio.Send, d.opts.Link)
+	p.Link.EnableTransmitNotify()
+	p.Radio.OnTransmitted = p.Link.NotifyTransmitted
+	p.Node = core.NewNode(id, d.Eng, rng, func(msg *wire.Message) { p.Link.Send(msg) }, d.opts.Core)
+	p.Link.OnGiveUp = p.Node.OnSendFailure
+	d.Peers[id] = p
+	return p
+}
+
+// Pin exempts a node from trace-driven leave events: the measurement
+// consumer must exist for the whole experiment, as the paper's did.
+func (d *Deployment) Pin(id wire.NodeID) {
+	if d.pinned == nil {
+		d.pinned = make(map[wire.NodeID]bool)
+	}
+	d.pinned[id] = true
+}
+
+// RemovePeer detaches a node (a person leaving with their device).
+// Pinned nodes stay.
+func (d *Deployment) RemovePeer(id wire.NodeID) {
+	if d.pinned[id] {
+		return
+	}
+	if p, ok := d.Peers[id]; ok {
+		p.Node.Stop()
+		d.Medium.Detach(id)
+		delete(d.Peers, id)
+	}
+}
+
+// Grid builds a rows×cols deployment with the given spacing (§VI-A:
+// "each node can communicate directly with its 8 surrounding
+// neighbors"). Node ids are 1-based in row-major order.
+func Grid(rows, cols int, spacing float64, opts Options) *Deployment {
+	d := New(opts)
+	for i, pos := range mobility.GridPositions(rows, cols, spacing) {
+		d.AddPeer(wire.NodeID(i+1), pos)
+	}
+	return d
+}
+
+// GridSpacing is the default spacing at which the default radio range
+// reaches exactly the 8 surrounding neighbors.
+const GridSpacing = 30
+
+// CenterID returns the id of the center node of a Grid deployment.
+func CenterID(rows, cols int) wire.NodeID {
+	return wire.NodeID(mobility.CenterIndex(rows, cols) + 1)
+}
+
+// EntryDescriptor builds the i-th synthetic metadata entry descriptor:
+// a sensor reading with type, time and location attributes, ~30 bytes
+// encoded (§VI-A).
+func EntryDescriptor(i int) attr.Descriptor {
+	return attr.NewDescriptor().
+		Set(attr.AttrNamespace, attr.String("env")).
+		Set(attr.AttrDataType, attr.String("nox")).
+		Set(attr.AttrName, attr.String(fmt.Sprintf("s%06d", i))).
+		Set(attr.AttrTime, attr.Int(int64(1600000000+i)))
+}
+
+// EntrySelector matches every entry produced by EntryDescriptor.
+func EntrySelector() attr.Query {
+	return attr.NewQuery(
+		attr.Eq(attr.AttrNamespace, attr.String("env")),
+		attr.Eq(attr.AttrDataType, attr.String("nox")),
+	)
+}
+
+// DistributeEntries creates count distinct entries and places each on
+// `redundancy` distinct random nodes as owned metadata (§VI-A:
+// "distribute metadata entries ... among all nodes uniform randomly").
+func (d *Deployment) DistributeEntries(count, redundancy int) {
+	ids := d.sortedPeerIDs()
+	rng := rand.New(rand.NewSource(d.seed + 7))
+	for i := 0; i < count; i++ {
+		desc := EntryDescriptor(i)
+		for _, idx := range pickDistinct(rng, len(ids), redundancy) {
+			d.Peers[ids[idx]].Node.PublishEntry(desc)
+		}
+	}
+}
+
+// ItemDescriptor builds the descriptor of a large shared item (e.g. a
+// video clip) of the given size, chunked at 256 KB (§VI-A).
+func ItemDescriptor(name string, sizeBytes, chunkSize int) attr.Descriptor {
+	total := (sizeBytes + chunkSize - 1) / chunkSize
+	return attr.NewDescriptor().
+		Set(attr.AttrNamespace, attr.String("media")).
+		Set(attr.AttrDataType, attr.String("video")).
+		Set(attr.AttrName, attr.String(name)).
+		Set(attr.AttrTotalChunks, attr.Int(int64(total)))
+}
+
+// DefaultChunkSize is the paper's chunk size (§VI-A).
+const DefaultChunkSize = 256 << 10
+
+// DistributeChunks places every chunk of the item on `redundancy`
+// distinct random nodes, excluding the consumer. All copies of a chunk
+// share one payload buffer, so large items cost one copy of memory.
+// It returns the item descriptor.
+func (d *Deployment) DistributeChunks(item attr.Descriptor, chunkSize, redundancy int, exclude wire.NodeID) attr.Descriptor {
+	total := item.TotalChunks()
+	ids := make([]wire.NodeID, 0, len(d.Peers))
+	for _, id := range d.sortedPeerIDs() {
+		if id != exclude {
+			ids = append(ids, id)
+		}
+	}
+	rng := rand.New(rand.NewSource(d.seed + 13))
+	for c := 0; c < total; c++ {
+		payload := make([]byte, chunkSize)
+		for i := range payload {
+			payload[i] = byte(c + i)
+		}
+		for _, idx := range pickDistinct(rng, len(ids), redundancy) {
+			d.Peers[ids[idx]].Node.PublishChunk(item, c, payload)
+		}
+	}
+	return item
+}
+
+func (d *Deployment) sortedPeerIDs() []wire.NodeID {
+	return sortedNodeIDs(d.Peers)
+}
+
+func sortedNodeIDs(peers map[wire.NodeID]*Peer) []wire.NodeID {
+	ids := make([]wire.NodeID, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// newRand returns a deterministic random source for scenario helpers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		i := rng.Intn(n)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RunDiscovery runs one consumer discovery to completion (or deadline)
+// and returns the result and whether it completed.
+func (d *Deployment) RunDiscovery(consumer wire.NodeID, sel attr.Query, opts core.DiscoverOptions, deadline time.Duration) (core.DiscoveryResult, bool) {
+	var (
+		res  core.DiscoveryResult
+		done bool
+	)
+	d.Peers[consumer].Node.Discover(sel, opts, func(r core.DiscoveryResult) {
+		res = r
+		done = true
+	})
+	d.Eng.RunUntil(deadline, func() bool { return done })
+	return res, done
+}
+
+// RunRetrieval runs one consumer PDR retrieval to completion (or
+// deadline).
+func (d *Deployment) RunRetrieval(consumer wire.NodeID, item attr.Descriptor, deadline time.Duration) (core.RetrievalResult, bool) {
+	var (
+		res  core.RetrievalResult
+		done bool
+	)
+	d.Peers[consumer].Node.Retrieve(item, func(r core.RetrievalResult) {
+		res = r
+		done = true
+	})
+	d.Eng.RunUntil(deadline, func() bool { return done })
+	return res, done
+}
+
+// RunMDR runs one consumer MDR retrieval to completion (or deadline).
+func (d *Deployment) RunMDR(consumer wire.NodeID, item attr.Descriptor, deadline time.Duration) (core.RetrievalResult, bool) {
+	var (
+		res  core.RetrievalResult
+		done bool
+	)
+	d.Peers[consumer].Node.RetrieveMDR(item, func(r core.RetrievalResult) {
+		res = r
+		done = true
+	})
+	d.Eng.RunUntil(deadline, func() bool { return done })
+	return res, done
+}
+
+// ApplyTrace schedules a mobility trace onto the deployment: initial
+// nodes must already exist (ids 1..len(Initial)); joins create fresh
+// peers, leaves remove them, position events move them.
+func (d *Deployment) ApplyTrace(tr mobility.Trace) {
+	for _, ev := range tr.Events {
+		ev := ev
+		id := wire.NodeID(ev.Node + 1)
+		d.Eng.Schedule(ev.At, func() {
+			switch ev.Kind {
+			case mobility.Join:
+				if _, ok := d.Peers[id]; !ok {
+					d.AddPeer(id, ev.Pos)
+				}
+			case mobility.Leave:
+				d.RemovePeer(id)
+			case mobility.Position:
+				d.Medium.SetPosition(id, ev.Pos)
+			}
+		})
+	}
+}
+
+// MobilityRadioConfig returns the medium settings for open-area
+// mobility scenarios: a 60 m indoor Wi-Fi range instead of the 45 m the
+// grid uses (the grid value is reverse-engineered from "exactly 8
+// neighbors at the grid spacing", §VI-A; an open 120×120 m hall with
+// 20 people needs the longer realistic range to stay connected, as the
+// paper's prototype hardware would).
+func MobilityRadioConfig() radio.Config {
+	cfg := radio.DefaultConfig()
+	cfg.Range = 60
+	return cfg
+}
+
+// MobileArea builds a deployment from a mobility profile: the initial
+// population is placed and the trace of the given duration is
+// scheduled. It returns the deployment and the ids of the initial
+// nodes.
+func MobileArea(p mobility.Profile, duration time.Duration, opts Options) (*Deployment, []wire.NodeID) {
+	if opts.Radio.Range == 0 {
+		opts.Radio = MobilityRadioConfig()
+	}
+	d := New(opts)
+	tr := p.Generate(duration, rand.New(rand.NewSource(opts.Seed+99)))
+	ids := make([]wire.NodeID, len(tr.Initial))
+	for i, pos := range tr.Initial {
+		id := wire.NodeID(i + 1)
+		d.AddPeer(id, pos)
+		ids[i] = id
+	}
+	d.ApplyTrace(tr)
+	return d, ids
+}

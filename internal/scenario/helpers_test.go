@@ -1,0 +1,133 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pds/internal/wire"
+)
+
+func TestPickDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := pickDistinct(rng, 10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if i < 0 || i >= 10 {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+	// Asking for more than available returns everything.
+	if got := pickDistinct(rng, 3, 10); len(got) != 3 {
+		t.Fatalf("overdraw len = %d", len(got))
+	}
+}
+
+func TestQuickPickDistinct(t *testing.T) {
+	f := func(seed int64, n, k uint8) bool {
+		nn := int(n)%20 + 1
+		kk := int(k) % 25
+		rng := rand.New(rand.NewSource(seed))
+		got := pickDistinct(rng, nn, kk)
+		want := kk
+		if want > nn {
+			want = nn
+		}
+		if len(got) != want {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range got {
+			if i < 0 || i >= nn || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryDescriptorSize(t *testing.T) {
+	// §VI-A: "each metadata entry is 30 bytes, enough to cover most
+	// common data type, time and location attributes". Our canonical
+	// encoding carries attribute names, so entries are a bit larger;
+	// they must stay the same order of magnitude for the overhead
+	// figures to be comparable.
+	size := EntryDescriptor(123456).EncodedSize()
+	if size < 30 || size > 90 {
+		t.Fatalf("entry descriptor encodes to %dB, outside the plausible 30-90B band", size)
+	}
+	// And all entries are distinct.
+	if EntryDescriptor(1).Key() == EntryDescriptor(2).Key() {
+		t.Fatal("entry descriptors collide")
+	}
+}
+
+func TestEntrySelectorMatchesAllEntries(t *testing.T) {
+	sel := EntrySelector()
+	for _, i := range []int{0, 17, 9999} {
+		if !sel.Match(EntryDescriptor(i)) {
+			t.Fatalf("selector misses entry %d", i)
+		}
+	}
+	if sel.Match(ItemDescriptor("x", 1<<20, DefaultChunkSize)) {
+		t.Fatal("selector matches media items")
+	}
+}
+
+func TestItemDescriptorChunks(t *testing.T) {
+	item := ItemDescriptor("v", 20<<20, DefaultChunkSize)
+	if got := item.TotalChunks(); got != 80 {
+		t.Fatalf("20MB at 256KB = %d chunks, want 80", got)
+	}
+	item = ItemDescriptor("v", 1, DefaultChunkSize)
+	if got := item.TotalChunks(); got != 1 {
+		t.Fatalf("1B item = %d chunks", got)
+	}
+}
+
+func TestGridLayoutNeighborCount(t *testing.T) {
+	d := Grid(5, 5, GridSpacing, Options{Seed: 1})
+	// Interior node (center) reaches exactly its 8 surrounding
+	// neighbors at the default range (§VI-A).
+	center := CenterID(5, 5)
+	if got := len(d.Medium.Neighbors(center)); got != 8 {
+		t.Fatalf("center neighbors = %d, want 8", got)
+	}
+	// Corner node reaches 3.
+	if got := len(d.Medium.Neighbors(wire.NodeID(1))); got != 3 {
+		t.Fatalf("corner neighbors = %d, want 3", got)
+	}
+}
+
+func TestDistributeChunksExcludesConsumer(t *testing.T) {
+	d := Grid(4, 4, GridSpacing, Options{Seed: 2})
+	consumer := CenterID(4, 4)
+	item := ItemDescriptor("v", 1<<20, DefaultChunkSize)
+	item = d.DistributeChunks(item, DefaultChunkSize, 2, consumer)
+	if held := d.Peers[consumer].Node.Store().ChunksHeld(item.Key()); len(held) != 0 {
+		t.Fatalf("consumer seeded with %d chunks", len(held))
+	}
+	// Every chunk exists on exactly 2 nodes.
+	counts := make(map[int]int)
+	for _, p := range d.Peers {
+		for _, c := range p.Node.Store().ChunksHeld(item.Key()) {
+			counts[c]++
+		}
+	}
+	for c := 0; c < item.TotalChunks(); c++ {
+		if counts[c] != 2 {
+			t.Fatalf("chunk %d has %d copies, want 2", c, counts[c])
+		}
+	}
+}

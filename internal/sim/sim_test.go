@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run(time.Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("Now = %v after Run(1s)", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	cancel := e.Schedule(time.Millisecond, func() { ran = true })
+	cancel()
+	cancel() // idempotent
+	e.Run(time.Second)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelAfterRunIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	cancel := e.Schedule(time.Millisecond, func() { n++ })
+	e.Run(time.Second)
+	cancel()
+	if n != 1 {
+		t.Fatalf("event ran %d times", n)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var times []time.Duration
+	var tick func()
+	tick = func() {
+		times = append(times, e.Now())
+		if len(times) < 5 {
+			e.Schedule(10*time.Millisecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run(time.Second)
+	if len(times) != 5 {
+		t.Fatalf("ticks = %d", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] != 10*time.Millisecond {
+			t.Fatalf("tick spacing wrong: %v", times)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(5*time.Millisecond, func() {})
+	e.Step()
+	ran := false
+	e.Schedule(-time.Hour, func() { ran = true })
+	e.Step()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() { n++ })
+	}
+	e.RunUntil(time.Second, func() bool { return n >= 3 })
+	if n != 3 {
+		t.Fatalf("RunUntil stopped at n=%d", n)
+	}
+}
+
+func TestRunRespectsDeadline(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(10*time.Millisecond, func() { ran = true })
+	e.Schedule(100*time.Millisecond, func() { t.Fatal("event past deadline ran") })
+	e.Run(50 * time.Millisecond)
+	if !ran {
+		t.Fatal("event before deadline did not run")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		var out []int64
+		var step func()
+		count := 0
+		step = func() {
+			out = append(out, e.Rand().Int63())
+			count++
+			if count < 50 {
+				e.Schedule(time.Duration(e.Rand().Intn(1000))*time.Microsecond, step)
+			}
+		}
+		e.Schedule(0, step)
+		e.Run(time.Minute)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+// TestClockMonotonic property-tests that execution time never goes
+// backwards under random scheduling patterns.
+func TestClockMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine(seed)
+		last := time.Duration(-1)
+		ok := true
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			e.Schedule(time.Duration(rng.Intn(1000))*time.Microsecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+				if depth > 0 {
+					spawn(depth - 1)
+				}
+			})
+		}
+		for i := 0; i < 10; i++ {
+			spawn(3)
+		}
+		e.Run(time.Second)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if got := e.Run(time.Second); got != 7 {
+		t.Fatalf("Run returned %d events", got)
+	}
+	if e.Processed() != 7 {
+		t.Fatalf("Processed = %d", e.Processed())
+	}
+}

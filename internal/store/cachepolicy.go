@@ -1,0 +1,100 @@
+package store
+
+// CachePolicy selects the eviction strategy for cached (non-owned)
+// payloads when the cache budget is exceeded. The paper leaves chunk
+// caching strategy as future work (§VII: "we plan to study proper data
+// chunk caching strategies based on their popularity and devices'
+// resource availability"); this implements the obvious candidates so
+// the ablation benches can compare them.
+type CachePolicy uint8
+
+const (
+	// EvictFIFO removes the oldest cached payload first (default).
+	EvictFIFO CachePolicy = iota
+	// EvictLRU removes the least recently accessed payload first.
+	EvictLRU
+	// EvictLFU removes the least frequently accessed payload first
+	// (the popularity-based strategy §VII sketches).
+	EvictLFU
+)
+
+// String returns the policy name.
+func (p CachePolicy) String() string {
+	switch p {
+	case EvictLRU:
+		return "lru"
+	case EvictLFU:
+		return "lfu"
+	default:
+		return "fifo"
+	}
+}
+
+// SetCachePolicy selects the eviction strategy; it only affects future
+// evictions.
+func (s *DataStore) SetCachePolicy(p CachePolicy) { s.policy = p }
+
+// touch records an access to a cached payload for LRU/LFU accounting.
+func (s *DataStore) touch(key string) {
+	if s.policy == EvictFIFO {
+		return
+	}
+	s.accessClock++
+	if s.lastAccess == nil {
+		s.lastAccess = make(map[string]uint64)
+		s.accessCount = make(map[string]uint64)
+	}
+	s.lastAccess[key] = s.accessClock
+	s.accessCount[key]++
+}
+
+// victim returns the cache-order index of the payload to evict next
+// under the current policy, or -1 when nothing is evictable.
+func (s *DataStore) victim() int {
+	if len(s.cacheOrder) == 0 {
+		return -1
+	}
+	switch s.policy {
+	case EvictLRU:
+		best, bestAt := 0, ^uint64(0)
+		for i, key := range s.cacheOrder {
+			at := s.lastAccess[key] // zero (never accessed) evicts first
+			if at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		return best
+	case EvictLFU:
+		best, bestCount := 0, ^uint64(0)
+		for i, key := range s.cacheOrder {
+			c := s.accessCount[key]
+			if c < bestCount {
+				best, bestCount = i, c
+			}
+		}
+		return best
+	default:
+		return 0 // FIFO: oldest insertion
+	}
+}
+
+// evictOne removes one cached payload according to the policy; it
+// reports whether anything was removed.
+func (s *DataStore) evictOne() bool {
+	i := s.victim()
+	if i < 0 {
+		return false
+	}
+	key := s.cacheOrder[i]
+	s.cacheOrder = append(s.cacheOrder[:i], s.cacheOrder[i+1:]...)
+	if p, ok := s.payloads[key]; ok && !s.ownedKeys[key] {
+		s.cachedBytes -= len(p)
+		delete(s.payloads, key)
+		if e, ok := s.entries[key]; ok {
+			s.unindexChunk(e.Desc)
+		}
+	}
+	delete(s.lastAccess, key)
+	delete(s.accessCount, key)
+	return true
+}

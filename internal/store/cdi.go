@@ -1,0 +1,170 @@
+package store
+
+import (
+	"sort"
+	"time"
+
+	"pds/internal/wire"
+)
+
+// CDIEntry is one chunk routing entry (§IV-A): the chunk can be
+// retrieved via Neighbor at HopCount hops. HopCount 0 with Neighbor ==
+// self means the chunk is local.
+type CDIEntry struct {
+	ChunkID  int
+	HopCount int
+	Neighbor wire.NodeID
+	ExpireAt time.Duration
+}
+
+// CDITable holds chunk distribution information per data item, keyed by
+// the item descriptor's canonical key. For each chunk it keeps every
+// least-hop-count neighbor (the paper creates one entry per neighbor
+// when several tie, §IV-A).
+type CDITable struct {
+	// items[itemKey][chunkID] -> entries with the same minimal hop
+	// count, one per neighbor.
+	items map[string]map[int][]CDIEntry
+}
+
+// NewCDITable returns an empty table.
+func NewCDITable() *CDITable {
+	return &CDITable{items: make(map[string]map[int][]CDIEntry)}
+}
+
+// Update merges a new observation: chunkID of the item reachable via
+// neighbor at hopCount. Smaller hop counts replace larger ones; equal
+// hop counts via new neighbors accumulate (§IV-A). It reports whether
+// the table changed.
+func (t *CDITable) Update(itemKey string, e CDIEntry) bool {
+	chunks, ok := t.items[itemKey]
+	if !ok {
+		chunks = make(map[int][]CDIEntry)
+		t.items[itemKey] = chunks
+	}
+	cur := chunks[e.ChunkID]
+	if len(cur) == 0 || e.HopCount < cur[0].HopCount {
+		chunks[e.ChunkID] = []CDIEntry{e}
+		return true
+	}
+	if e.HopCount > cur[0].HopCount {
+		return false
+	}
+	for i, old := range cur {
+		if old.Neighbor == e.Neighbor {
+			if e.ExpireAt > old.ExpireAt {
+				cur[i].ExpireAt = e.ExpireAt
+				return true
+			}
+			return false
+		}
+	}
+	chunks[e.ChunkID] = append(cur, e)
+	return true
+}
+
+// Lookup returns the unexpired least-hop entries for one chunk, sorted
+// by neighbor id for determinism.
+func (t *CDITable) Lookup(itemKey string, chunkID int, now time.Duration) []CDIEntry {
+	chunks, ok := t.items[itemKey]
+	if !ok {
+		return nil
+	}
+	var out []CDIEntry
+	for _, e := range chunks[chunkID] {
+		if e.ExpireAt > now {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Neighbor < out[j].Neighbor })
+	return out
+}
+
+// Pairs returns one ChunkID-HopCount pair per chunk of the item with an
+// unexpired entry, sorted by chunk id — the payload of a CDI response
+// (§IV-A).
+func (t *CDITable) Pairs(itemKey string, now time.Duration) []wire.CDIPair {
+	chunks, ok := t.items[itemKey]
+	if !ok {
+		return nil
+	}
+	var out []wire.CDIPair
+	for cid, entries := range chunks {
+		for _, e := range entries {
+			if e.ExpireAt > now {
+				out = append(out, wire.CDIPair{ChunkID: cid, HopCount: e.HopCount})
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ChunkID < out[j].ChunkID })
+	return out
+}
+
+// Chunks returns the chunk ids with unexpired entries, sorted.
+func (t *CDITable) Chunks(itemKey string, now time.Duration) []int {
+	chunks, ok := t.items[itemKey]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for cid, entries := range chunks {
+		for _, e := range entries {
+			if e.ExpireAt > now {
+				out = append(out, cid)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DropNeighbor removes all entries via the given neighbor (used when a
+// retrieval via that neighbor times out, so the next attempt re-routes).
+func (t *CDITable) DropNeighbor(itemKey string, neighbor wire.NodeID) {
+	chunks, ok := t.items[itemKey]
+	if !ok {
+		return
+	}
+	for cid, entries := range chunks {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.Neighbor != neighbor {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(chunks, cid)
+		} else {
+			chunks[cid] = kept
+		}
+	}
+}
+
+// Expire removes expired entries; obsolete CDI does not live forever
+// (§IV-A). It returns the number removed.
+func (t *CDITable) Expire(now time.Duration) int {
+	n := 0
+	for itemKey, chunks := range t.items {
+		for cid, entries := range chunks {
+			kept := entries[:0]
+			for _, e := range entries {
+				if e.ExpireAt > now {
+					kept = append(kept, e)
+				} else {
+					n++
+				}
+			}
+			if len(kept) == 0 {
+				delete(chunks, cid)
+			} else {
+				chunks[cid] = kept
+			}
+		}
+		if len(chunks) == 0 {
+			delete(t.items, itemKey)
+		}
+	}
+	return n
+}

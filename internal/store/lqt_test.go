@@ -1,0 +1,141 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/bloom"
+	"pds/internal/wire"
+)
+
+func metaQuery(id uint64, sender wire.NodeID, sel attr.Query) *wire.Query {
+	return &wire.Query{ID: id, Kind: wire.KindMetadata, Sender: sender, Sel: sel}
+}
+
+func TestLQTInsertExistsExpire(t *testing.T) {
+	lqt := NewLQT()
+	q := metaQuery(1, 9, attr.NewQuery())
+	lqt.Insert(q, 10*time.Second)
+	if !lqt.Exists(1, 5*time.Second) {
+		t.Fatal("fresh query missing")
+	}
+	if lqt.Exists(1, 10*time.Second) {
+		t.Fatal("expired query reported present")
+	}
+	if lqt.Exists(2, 0) {
+		t.Fatal("unknown id reported present")
+	}
+	if n := lqt.Expire(11 * time.Second); n != 1 {
+		t.Fatalf("Expire removed %d", n)
+	}
+	if lqt.Len() != 0 {
+		t.Fatalf("Len = %d", lqt.Len())
+	}
+}
+
+func TestLQTGetAndRemove(t *testing.T) {
+	lqt := NewLQT()
+	q := metaQuery(1, 9, attr.NewQuery())
+	lqt.Insert(q, 10*time.Second)
+	lq, ok := lqt.Get(1, 0)
+	if !ok || lq.Query.Sender != 9 {
+		t.Fatalf("Get = %+v %v", lq, ok)
+	}
+	if _, ok := lqt.Get(1, 11*time.Second); ok {
+		t.Fatal("Get returned expired query")
+	}
+	lqt.Remove(1)
+	if _, ok := lqt.Get(1, 0); ok {
+		t.Fatal("Get after Remove")
+	}
+}
+
+func TestLQTMatchEntryFilters(t *testing.T) {
+	lqt := NewLQT()
+	selA := attr.NewQuery(attr.Eq("ns", attr.String("a")))
+	selB := attr.NewQuery(attr.Eq("ns", attr.String("b")))
+	lqt.Insert(metaQuery(1, 10, selA), time.Minute)
+	lqt.Insert(metaQuery(2, 11, selB), time.Minute)
+	lqt.Insert(&wire.Query{ID: 3, Kind: wire.KindData, Sender: 12, Sel: selA}, time.Minute)
+
+	dA := attr.NewDescriptor().Set("ns", attr.String("a"))
+	got := lqt.MatchEntry(wire.KindMetadata, dA, 0)
+	if len(got) != 1 || got[0].Query.ID != 1 {
+		t.Fatalf("MatchEntry = %d matches", len(got))
+	}
+	// Kind filter: the data query with the same selector matches only
+	// on its own plane.
+	if got := lqt.MatchEntry(wire.KindData, dA, 0); len(got) != 1 || got[0].Query.ID != 3 {
+		t.Fatalf("kind filtering broken: %d", len(got))
+	}
+}
+
+func TestLQTMatchEntryBloomPruning(t *testing.T) {
+	lqt := NewLQT()
+	d := attr.NewDescriptor().Set("ns", attr.String("a"))
+	f := bloom.NewForCapacity(16, 0.01, 1)
+	f.Add(d.Key())
+	q := metaQuery(1, 10, attr.NewQuery())
+	q.Bloom = f
+	lqt.Insert(q, time.Minute)
+	if got := lqt.MatchEntry(wire.KindMetadata, d, 0); len(got) != 0 {
+		t.Fatal("entry in bloom still matched")
+	}
+	other := attr.NewDescriptor().Set("ns", attr.String("b"))
+	if got := lqt.MatchEntry(wire.KindMetadata, other, 0); len(got) != 1 {
+		t.Fatal("entry outside bloom pruned")
+	}
+}
+
+func TestLQTMatchItem(t *testing.T) {
+	lqt := NewLQT()
+	item := attr.NewDescriptor().Set("name", attr.String("v"))
+	q := &wire.Query{ID: 1, Kind: wire.KindCDI, Sender: 5, Item: item}
+	lqt.Insert(q, time.Minute)
+	if got := lqt.MatchItem(wire.KindCDI, item.Key(), 0); len(got) != 1 {
+		t.Fatalf("MatchItem = %d", len(got))
+	}
+	if got := lqt.MatchItem(wire.KindChunk, item.Key(), 0); len(got) != 0 {
+		t.Fatal("kind not filtered")
+	}
+	if got := lqt.MatchItem(wire.KindCDI, "other", 0); len(got) != 0 {
+		t.Fatal("item key not filtered")
+	}
+}
+
+func TestLQTAllOfKindSorted(t *testing.T) {
+	lqt := NewLQT()
+	for _, id := range []uint64{5, 2, 9} {
+		lqt.Insert(metaQuery(id, 1, attr.NewQuery()), time.Minute)
+	}
+	lqt.Insert(metaQuery(7, 1, attr.NewQuery()), -time.Second) // expired
+	got := lqt.AllOfKind(wire.KindMetadata, 0)
+	if len(got) != 3 {
+		t.Fatalf("AllOfKind = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Query.ID >= got[i].Query.ID {
+			t.Fatal("not sorted by id")
+		}
+	}
+}
+
+func TestRecentResponses(t *testing.T) {
+	rr := NewRecentResponses(10 * time.Second)
+	if rr.Seen(1, 0) {
+		t.Fatal("first sighting reported seen")
+	}
+	if !rr.Seen(1, 5*time.Second) {
+		t.Fatal("second sighting within retention not seen")
+	}
+	// Beyond retention the id counts as fresh again.
+	if rr.Seen(1, 20*time.Second) {
+		t.Fatal("sighting after retention reported seen")
+	}
+	rr.Seen(2, 21*time.Second)
+	rr.Prune(40 * time.Second)
+	if rr.Len() != 0 {
+		t.Fatalf("Len after prune = %d", rr.Len())
+	}
+}

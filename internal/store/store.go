@@ -1,0 +1,291 @@
+// Package store implements the per-node state of a PDS node: the data
+// store of metadata entries and payloads, the chunk-distribution (CDI)
+// table, the Lingering Query Table and the recent-response cache.
+//
+// All methods take the current time explicitly (a time.Duration on the
+// node's clock) rather than reading a clock, so the same store runs
+// under simulated and real time and is trivially testable.
+package store
+
+import (
+	"sort"
+	"time"
+
+	"pds/internal/attr"
+)
+
+// Entry is one metadata entry in the data store (§II-C): a descriptor
+// plus bookkeeping about how it is held.
+type Entry struct {
+	Desc attr.Descriptor
+	// Owned entries describe data this node produced or fully holds;
+	// they never expire. Cached entries (received, relayed or overheard
+	// without payload) carry an expiry (§II-C).
+	Owned    bool
+	ExpireAt time.Duration
+}
+
+// DataStore holds metadata entries and data payloads (small items and
+// chunks), keyed by canonical descriptor key.
+type DataStore struct {
+	entries map[string]Entry
+	// payloads maps descriptor key to payload bytes for data this node
+	// holds (small items, or individual chunks keyed by the chunk
+	// descriptor).
+	payloads map[string][]byte
+	// cacheCap bounds the total bytes of cached (non-owned) payloads;
+	// 0 means unlimited. Metadata entries are always cached (§VII).
+	cacheCap    int
+	cachedBytes int
+	ownedKeys   map[string]bool // payload keys this node owns
+	// cacheOrder tracks insertion order of cached payload keys for FIFO
+	// eviction when cacheCap is exceeded.
+	cacheOrder []string
+	// chunkIndex maps item key -> chunk id -> chunk descriptor key, for
+	// the chunks of each item whose payload this node holds. CDI
+	// responses are built from it.
+	chunkIndex map[string]map[int]string
+	// policy selects the cache-eviction strategy (see cachepolicy.go).
+	policy      CachePolicy
+	accessClock uint64
+	lastAccess  map[string]uint64
+	accessCount map[string]uint64
+}
+
+// NewDataStore returns an empty store. cacheCap bounds cached payload
+// bytes (0 = unlimited).
+func NewDataStore(cacheCap int) *DataStore {
+	return &DataStore{
+		entries:    make(map[string]Entry),
+		payloads:   make(map[string][]byte),
+		ownedKeys:  make(map[string]bool),
+		cacheCap:   cacheCap,
+		chunkIndex: make(map[string]map[int]string),
+	}
+}
+
+// PutOwned inserts an entry for data this node produced; it never
+// expires.
+func (s *DataStore) PutOwned(d attr.Descriptor) {
+	s.entries[d.Key()] = Entry{Desc: d, Owned: true}
+}
+
+// PutCached inserts or refreshes a cached entry with the given expiry.
+// An existing owned entry is never downgraded. It reports whether the
+// entry was new.
+func (s *DataStore) PutCached(d attr.Descriptor, expireAt time.Duration) bool {
+	key := d.Key()
+	if old, ok := s.entries[key]; ok {
+		if !old.Owned && expireAt > old.ExpireAt {
+			old.ExpireAt = expireAt
+			s.entries[key] = old
+		}
+		return false
+	}
+	s.entries[key] = Entry{Desc: d, ExpireAt: expireAt}
+	return true
+}
+
+// HasEntry reports whether an unexpired entry exists for the descriptor.
+func (s *DataStore) HasEntry(d attr.Descriptor, now time.Duration) bool {
+	e, ok := s.entries[d.Key()]
+	return ok && s.live(e, now)
+}
+
+func (s *DataStore) live(e Entry, now time.Duration) bool {
+	return e.Owned || e.ExpireAt > now
+}
+
+// Match returns all unexpired entries whose descriptors satisfy q, in
+// deterministic (key-sorted) order.
+func (s *DataStore) Match(q attr.Query, now time.Duration) []attr.Descriptor {
+	keys := make([]string, 0, len(s.entries))
+	for k, e := range s.entries {
+		if s.live(e, now) && q.Match(e.Desc) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]attr.Descriptor, len(keys))
+	for i, k := range keys {
+		out[i] = s.entries[k].Desc
+	}
+	return out
+}
+
+// EntryCount returns the number of unexpired entries.
+func (s *DataStore) EntryCount(now time.Duration) int {
+	n := 0
+	for _, e := range s.entries {
+		if s.live(e, now) {
+			n++
+		}
+	}
+	return n
+}
+
+// PutPayloadOwned stores a payload this node produced, with its metadata
+// entry.
+func (s *DataStore) PutPayloadOwned(d attr.Descriptor, payload []byte) {
+	key := d.Key()
+	if !s.ownedKeys[key] {
+		if _, cached := s.payloads[key]; cached {
+			// Upgrading a cached payload to owned: stop counting it
+			// against the cache budget.
+			s.cachedBytes -= len(s.payloads[key])
+		}
+		s.ownedKeys[key] = true
+	}
+	s.payloads[key] = payload
+	s.indexChunk(d, key)
+	s.PutOwned(d)
+}
+
+// indexChunk records chunk payload possession in the per-item index.
+func (s *DataStore) indexChunk(d attr.Descriptor, key string) {
+	cid, ok := d.ChunkID()
+	if !ok {
+		return
+	}
+	itemKey := d.ItemDescriptor().Key()
+	m, ok := s.chunkIndex[itemKey]
+	if !ok {
+		m = make(map[int]string)
+		s.chunkIndex[itemKey] = m
+	}
+	m[cid] = key
+}
+
+func (s *DataStore) unindexChunk(d attr.Descriptor) {
+	cid, ok := d.ChunkID()
+	if !ok {
+		return
+	}
+	itemKey := d.ItemDescriptor().Key()
+	if m, ok := s.chunkIndex[itemKey]; ok {
+		delete(m, cid)
+		if len(m) == 0 {
+			delete(s.chunkIndex, itemKey)
+		}
+	}
+}
+
+// ChunksHeld returns the sorted chunk ids of the item whose payloads
+// this node holds.
+func (s *DataStore) ChunksHeld(itemKey string) []int {
+	m := s.chunkIndex[itemKey]
+	out := make([]int, 0, len(m))
+	for cid := range m {
+		out = append(out, cid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ChunkPayload returns the payload of one chunk of the item. Access
+// counts toward LRU/LFU cache accounting.
+func (s *DataStore) ChunkPayload(itemKey string, chunkID int) ([]byte, bool) {
+	m := s.chunkIndex[itemKey]
+	key, ok := m[chunkID]
+	if !ok {
+		return nil, false
+	}
+	p, ok := s.payloads[key]
+	if ok {
+		s.touch(key)
+	}
+	return p, ok
+}
+
+// PutPayloadCached stores an overheard or relayed payload, subject to
+// the cache budget (FIFO eviction of other cached payloads). The
+// metadata entry is upgraded to non-expiring only in the sense that the
+// payload's presence keeps it alive; we keep it cached with expiry
+// refreshed by callers. It reports whether the payload was stored.
+func (s *DataStore) PutPayloadCached(d attr.Descriptor, payload []byte, expireAt time.Duration) bool {
+	key := d.Key()
+	if s.ownedKeys[key] {
+		return false // already have a better copy
+	}
+	if _, ok := s.payloads[key]; ok {
+		s.PutCached(d, expireAt)
+		return false
+	}
+	if s.cacheCap > 0 && len(payload) > s.cacheCap {
+		return false
+	}
+	for s.cacheCap > 0 && s.cachedBytes+len(payload) > s.cacheCap {
+		if !s.evictOne() {
+			break
+		}
+	}
+	s.payloads[key] = payload
+	s.cachedBytes += len(payload)
+	s.cacheOrder = append(s.cacheOrder, key)
+	s.indexChunk(d, key)
+	s.PutCached(d, expireAt)
+	return true
+}
+
+// Payload returns the stored payload for the descriptor, if present.
+// Access counts toward LRU/LFU cache accounting.
+func (s *DataStore) Payload(d attr.Descriptor) ([]byte, bool) {
+	key := d.Key()
+	p, ok := s.payloads[key]
+	if ok {
+		s.touch(key)
+	}
+	return p, ok
+}
+
+// HasPayload reports whether the payload for the descriptor is present.
+func (s *DataStore) HasPayload(d attr.Descriptor) bool {
+	_, ok := s.payloads[d.Key()]
+	return ok
+}
+
+// MatchPayloads returns descriptors of held payloads whose metadata
+// entries are unexpired and satisfy q, in deterministic order.
+func (s *DataStore) MatchPayloads(q attr.Query, now time.Duration) []attr.Descriptor {
+	keys := make([]string, 0)
+	for k := range s.payloads {
+		e, ok := s.entries[k]
+		if ok && s.live(e, now) && q.Match(e.Desc) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]attr.Descriptor, len(keys))
+	for i, k := range keys {
+		out[i] = s.entries[k].Desc
+	}
+	return out
+}
+
+// DeleteOwned removes an owned payload and its entry — the producer
+// deleting its data (§II-A "data ... deleted").
+func (s *DataStore) DeleteOwned(d attr.Descriptor) {
+	key := d.Key()
+	delete(s.payloads, key)
+	delete(s.ownedKeys, key)
+	delete(s.entries, key)
+	s.unindexChunk(d)
+}
+
+// Expire removes entries whose expiry has passed and whose payload is
+// absent (§II-C: "upon expiration, the node removes the entry if it does
+// not yet have the payload"). It returns the number removed.
+func (s *DataStore) Expire(now time.Duration) int {
+	n := 0
+	for k, e := range s.entries {
+		if e.Owned || e.ExpireAt > now {
+			continue
+		}
+		if _, hasPayload := s.payloads[k]; hasPayload {
+			continue
+		}
+		delete(s.entries, k)
+		n++
+	}
+	return n
+}

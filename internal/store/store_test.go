@@ -1,0 +1,241 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pds/internal/attr"
+)
+
+func entry(i int) attr.Descriptor {
+	return attr.NewDescriptor().
+		Set(attr.AttrNamespace, attr.String("env")).
+		Set(attr.AttrName, attr.String(fmt.Sprintf("e%d", i)))
+}
+
+func selAll() attr.Query {
+	return attr.NewQuery(attr.Eq(attr.AttrNamespace, attr.String("env")))
+}
+
+func TestOwnedEntriesNeverExpire(t *testing.T) {
+	s := NewDataStore(0)
+	s.PutOwned(entry(1))
+	if s.Expire(time.Hour) != 0 {
+		t.Fatal("owned entry expired")
+	}
+	if !s.HasEntry(entry(1), time.Hour) {
+		t.Fatal("owned entry missing")
+	}
+}
+
+func TestCachedEntryExpiry(t *testing.T) {
+	s := NewDataStore(0)
+	s.PutCached(entry(1), 10*time.Second)
+	if !s.HasEntry(entry(1), 5*time.Second) {
+		t.Fatal("entry missing before expiry")
+	}
+	if s.HasEntry(entry(1), 11*time.Second) {
+		t.Fatal("entry visible after expiry")
+	}
+	if n := s.Expire(11 * time.Second); n != 1 {
+		t.Fatalf("Expire removed %d", n)
+	}
+	// An expired-then-removed entry never resurfaces.
+	if s.HasEntry(entry(1), time.Second) {
+		t.Fatal("expired entry resurfaced")
+	}
+}
+
+func TestPutCachedExtendsExpiry(t *testing.T) {
+	s := NewDataStore(0)
+	s.PutCached(entry(1), 10*time.Second)
+	if s.PutCached(entry(1), 20*time.Second) {
+		t.Fatal("refresh reported as new")
+	}
+	if !s.HasEntry(entry(1), 15*time.Second) {
+		t.Fatal("expiry not extended")
+	}
+	// Shorter expiry never shortens.
+	s.PutCached(entry(1), 5*time.Second)
+	if !s.HasEntry(entry(1), 15*time.Second) {
+		t.Fatal("expiry shortened by later insert")
+	}
+}
+
+func TestCachedNeverDowngradesOwned(t *testing.T) {
+	s := NewDataStore(0)
+	s.PutOwned(entry(1))
+	s.PutCached(entry(1), time.Millisecond)
+	if !s.HasEntry(entry(1), time.Hour) {
+		t.Fatal("owned entry downgraded by cached insert")
+	}
+}
+
+func TestExpireKeepsEntriesWithPayload(t *testing.T) {
+	s := NewDataStore(0)
+	s.PutPayloadCached(entry(1), []byte("x"), 10*time.Second)
+	// §II-C: upon expiration the entry is removed only when the payload
+	// is absent.
+	if n := s.Expire(time.Hour); n != 0 {
+		t.Fatalf("Expire removed %d entries with payload", n)
+	}
+	if !s.HasPayload(entry(1)) {
+		t.Fatal("payload missing")
+	}
+}
+
+func TestMatchDeterministicOrder(t *testing.T) {
+	s := NewDataStore(0)
+	for i := 9; i >= 0; i-- {
+		s.PutOwned(entry(i))
+	}
+	got := s.Match(selAll(), 0)
+	if len(got) != 10 {
+		t.Fatalf("matched %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key() >= got[i].Key() {
+			t.Fatal("Match output not key-sorted")
+		}
+	}
+}
+
+func TestPayloadOwnership(t *testing.T) {
+	s := NewDataStore(0)
+	d := entry(1)
+	s.PutPayloadOwned(d, []byte("mine"))
+	if !s.PutPayloadCached(d, []byte("theirs"), time.Hour) {
+		// Cached insert over owned must be refused.
+	} else {
+		t.Fatal("cached payload replaced owned")
+	}
+	p, _ := s.Payload(d)
+	if string(p) != "mine" {
+		t.Fatalf("payload = %q", p)
+	}
+	s.DeleteOwned(d)
+	if s.HasPayload(d) || s.HasEntry(d, 0) {
+		t.Fatal("DeleteOwned left state behind")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	s := NewDataStore(10) // tiny cache: 10 bytes
+	a, b, c := entry(1), entry(2), entry(3)
+	if !s.PutPayloadCached(a, []byte("aaaaa"), time.Hour) {
+		t.Fatal("first insert refused")
+	}
+	if !s.PutPayloadCached(b, []byte("bbbbb"), time.Hour) {
+		t.Fatal("second insert refused")
+	}
+	// Third insert evicts the oldest (FIFO).
+	if !s.PutPayloadCached(c, []byte("ccccc"), time.Hour) {
+		t.Fatal("third insert refused")
+	}
+	if s.HasPayload(a) {
+		t.Fatal("oldest cached payload not evicted")
+	}
+	if !s.HasPayload(b) || !s.HasPayload(c) {
+		t.Fatal("newer payloads evicted")
+	}
+	// Payloads larger than the cache are refused outright.
+	if s.PutPayloadCached(entry(4), make([]byte, 100), time.Hour) {
+		t.Fatal("oversized payload cached")
+	}
+	// Owned payloads are never evicted and do not count.
+	s2 := NewDataStore(10)
+	s2.PutPayloadOwned(a, []byte("ownedownedowned"))
+	if !s2.PutPayloadCached(b, []byte("bbbbb"), time.Hour) {
+		t.Fatal("cached insert refused despite owned-only usage")
+	}
+	if !s2.HasPayload(a) {
+		t.Fatal("owned payload evicted")
+	}
+}
+
+func TestChunkIndex(t *testing.T) {
+	s := NewDataStore(0)
+	item := entry(1).Set(attr.AttrTotalChunks, attr.Int(3))
+	itemKey := item.Key()
+	for c := 0; c < 3; c++ {
+		s.PutPayloadOwned(item.WithChunk(c), []byte{byte(c)})
+	}
+	held := s.ChunksHeld(itemKey)
+	if len(held) != 3 || held[0] != 0 || held[2] != 2 {
+		t.Fatalf("ChunksHeld = %v", held)
+	}
+	p, ok := s.ChunkPayload(itemKey, 1)
+	if !ok || p[0] != 1 {
+		t.Fatalf("ChunkPayload = %v %v", p, ok)
+	}
+	s.DeleteOwned(item.WithChunk(1))
+	if got := s.ChunksHeld(itemKey); len(got) != 2 {
+		t.Fatalf("after delete ChunksHeld = %v", got)
+	}
+	if _, ok := s.ChunkPayload(itemKey, 1); ok {
+		t.Fatal("deleted chunk still indexed")
+	}
+}
+
+func TestChunkIndexEviction(t *testing.T) {
+	s := NewDataStore(4)
+	item := entry(1).Set(attr.AttrTotalChunks, attr.Int(2))
+	s.PutPayloadCached(item.WithChunk(0), []byte("aaaa"), time.Hour)
+	s.PutPayloadCached(item.WithChunk(1), []byte("bbbb"), time.Hour) // evicts chunk 0
+	held := s.ChunksHeld(item.Key())
+	if len(held) != 1 || held[0] != 1 {
+		t.Fatalf("ChunksHeld after eviction = %v", held)
+	}
+}
+
+func TestMatchPayloads(t *testing.T) {
+	s := NewDataStore(0)
+	s.PutOwned(entry(1)) // entry only, no payload
+	s.PutPayloadOwned(entry(2), []byte("x"))
+	got := s.MatchPayloads(selAll(), 0)
+	if len(got) != 1 || !got[0].Equal(entry(2)) {
+		t.Fatalf("MatchPayloads = %v", got)
+	}
+}
+
+// TestQuickExpiryMonotone property-tests: once an entry is gone at time
+// t, it is gone at every t' > t (absent re-insertion).
+func TestQuickExpiryMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewDataStore(0)
+		n := 1 + rng.Intn(20)
+		exp := make([]time.Duration, n)
+		for i := 0; i < n; i++ {
+			exp[i] = time.Duration(rng.Intn(100)) * time.Second
+			s.PutCached(entry(i), exp[i])
+		}
+		for probe := 0; probe < 20; probe++ {
+			at := time.Duration(rng.Intn(120)) * time.Second
+			for i := 0; i < n; i++ {
+				if s.HasEntry(entry(i), at) != (exp[i] > at) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryCount(t *testing.T) {
+	s := NewDataStore(0)
+	s.PutOwned(entry(1))
+	s.PutCached(entry(2), 10*time.Second)
+	if got := s.EntryCount(5 * time.Second); got != 2 {
+		t.Fatalf("EntryCount = %d", got)
+	}
+	if got := s.EntryCount(15 * time.Second); got != 1 {
+		t.Fatalf("EntryCount after expiry = %d", got)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd
+
+package udptransport
+
+// setBroadcast is a no-op on platforms without the Unix sockopt path;
+// loopback mode still works everywhere.
+func setBroadcast(uintptr) error { return nil }

@@ -1,0 +1,10 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package udptransport
+
+import "syscall"
+
+// setBroadcast enables sending to broadcast addresses on the socket.
+func setBroadcast(fd uintptr) error {
+	return syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_BROADCAST, 1)
+}

@@ -1,0 +1,291 @@
+// Package udptransport carries PDS frames over real UDP sockets,
+// mirroring the paper's Android prototype (§V): every message is sent
+// by UDP broadcast so all one-hop neighbors overhear it, and intended
+// receivers are named inside the message.
+//
+// Two modes exist:
+//
+//   - Broadcast mode: one socket bound to a port, sending to the
+//     subnet broadcast address. Peers on the same LAN segment form a
+//     one-hop PDS neighborhood.
+//   - Loopback mode: for demos and tests on a single machine, each
+//     node binds its own 127.0.0.1 port and "broadcast" fans out to an
+//     explicit list of peer ports.
+//
+// Messages larger than a datagram-safe size travel as link-layer
+// fragments; the transport serializes virtual fragments (which carry
+// the original message by reference) by encoding the whole message
+// once and slicing it, so receivers reassemble and decode.
+package udptransport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+
+	"pds/internal/wire"
+)
+
+// Config configures a transport.
+type Config struct {
+	// ListenAddr is the UDP address to bind, e.g. ":9753" (broadcast
+	// mode) or "127.0.0.1:9701" (loopback mode).
+	ListenAddr string
+	// BroadcastAddr is the destination for broadcast mode, e.g.
+	// "255.255.255.255:9753". Ignored when PeerAddrs is set.
+	BroadcastAddr string
+	// PeerAddrs lists explicit destinations (loopback mode).
+	PeerAddrs []string
+	// FragmentBytes must match the link layer's FragmentBytes so
+	// virtual fragments slice the encoded message consistently.
+	FragmentBytes int
+	// MaxDatagram bounds receive buffers.
+	MaxDatagram int
+}
+
+// DefaultConfig returns broadcast-mode settings on the given port.
+func DefaultConfig(port int) Config {
+	return Config{
+		ListenAddr:    fmt.Sprintf(":%d", port),
+		BroadcastAddr: fmt.Sprintf("255.255.255.255:%d", port),
+		FragmentBytes: 1400,
+		MaxDatagram:   2048,
+	}
+}
+
+// LoopbackConfig returns loopback-mode settings: listen on ownPort and
+// fan out to peerPorts (ownPort may be included; self-frames are
+// filtered by source address).
+func LoopbackConfig(ownPort int, peerPorts []int) Config {
+	cfg := Config{
+		ListenAddr:    fmt.Sprintf("127.0.0.1:%d", ownPort),
+		FragmentBytes: 1400,
+		MaxDatagram:   2048,
+	}
+	for _, p := range peerPorts {
+		if p != ownPort {
+			cfg.PeerAddrs = append(cfg.PeerAddrs, fmt.Sprintf("127.0.0.1:%d", p))
+		}
+	}
+	return cfg
+}
+
+// Transport is a UDP frame carrier implementing the pds.Transport
+// surface.
+type Transport struct {
+	cfg   Config
+	conn  *net.UDPConn
+	dests []*net.UDPAddr
+
+	mu       sync.Mutex
+	recv     func(*wire.Message)
+	closed   bool
+	wg       sync.WaitGroup
+	encCache map[uint64][]byte // OrigID -> encoded whole message
+
+	stats Stats
+}
+
+// Stats counts transport activity.
+type Stats struct {
+	DatagramsSent     uint64
+	DatagramsReceived uint64
+	BytesSent         uint64
+	DecodeErrors      uint64
+	SendErrors        uint64
+}
+
+// New binds the socket and starts the receive loop. The caller must
+// SetReceiver before peers start talking.
+func New(cfg Config) (*Transport, error) {
+	if cfg.FragmentBytes <= 0 {
+		cfg.FragmentBytes = 1400
+	}
+	if cfg.MaxDatagram <= 0 {
+		cfg.MaxDatagram = 2048
+	}
+	// SO_BROADCAST must be set explicitly or sends to the subnet
+	// broadcast address fail with permission errors on most systems.
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = setBroadcast(fd)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: bind: %w", err)
+	}
+	conn, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, errors.New("udptransport: not a UDP socket")
+	}
+	t := &Transport{cfg: cfg, conn: conn, encCache: make(map[uint64][]byte)}
+	if len(cfg.PeerAddrs) > 0 {
+		for _, a := range cfg.PeerAddrs {
+			dst, err := net.ResolveUDPAddr("udp", a)
+			if err != nil {
+				conn.Close()
+				return nil, fmt.Errorf("udptransport: peer addr %q: %w", a, err)
+			}
+			t.dests = append(t.dests, dst)
+		}
+	} else {
+		if cfg.BroadcastAddr == "" {
+			conn.Close()
+			return nil, errors.New("udptransport: neither BroadcastAddr nor PeerAddrs set")
+		}
+		dst, err := net.ResolveUDPAddr("udp", cfg.BroadcastAddr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udptransport: broadcast addr: %w", err)
+		}
+		t.dests = append(t.dests, dst)
+	}
+	t.wg.Add(1)
+	go t.readLoop()
+	return t, nil
+}
+
+// SetReceiver registers the frame sink.
+func (t *Transport) SetReceiver(fn func(*wire.Message)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recv = fn
+}
+
+// LocalAddr returns the bound address.
+func (t *Transport) LocalAddr() net.Addr { return t.conn.LocalAddr() }
+
+// Stats returns a snapshot of transport counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Send encodes and broadcasts one frame. Virtual fragments are
+// materialized by slicing the encoded whole message.
+func (t *Transport) Send(msg *wire.Message) bool {
+	buf, err := t.encode(msg)
+	if err != nil {
+		t.mu.Lock()
+		t.stats.SendErrors++
+		t.mu.Unlock()
+		return false
+	}
+	ok := true
+	for _, dst := range t.dests {
+		if _, err := t.conn.WriteToUDP(buf, dst); err != nil {
+			ok = false
+		}
+	}
+	t.mu.Lock()
+	if ok {
+		t.stats.DatagramsSent++
+		t.stats.BytesSent += uint64(len(buf))
+	} else {
+		t.stats.SendErrors++
+	}
+	t.mu.Unlock()
+	return ok
+}
+
+// encode turns a message into datagram bytes, materializing virtual
+// fragments.
+func (t *Transport) encode(msg *wire.Message) ([]byte, error) {
+	if msg.Type == wire.TypeFragment && msg.Fragment != nil && msg.Fragment.Data == nil {
+		f := msg.Fragment
+		if f.Whole == nil {
+			return nil, errors.New("udptransport: fragment without data or whole")
+		}
+		t.mu.Lock()
+		whole, ok := t.encCache[f.OrigID]
+		if !ok {
+			var err error
+			whole, err = wire.Encode(f.Whole)
+			if err != nil {
+				t.mu.Unlock()
+				return nil, err
+			}
+			t.encCache[f.OrigID] = whole
+			if len(t.encCache) > 64 {
+				// Simple bound: drop everything but the current entry.
+				for k := range t.encCache {
+					if k != f.OrigID {
+						delete(t.encCache, k)
+					}
+				}
+			}
+		}
+		t.mu.Unlock()
+		lo := f.Index * t.cfg.FragmentBytes
+		hi := lo + t.cfg.FragmentBytes
+		if lo > len(whole) {
+			lo = len(whole)
+		}
+		if hi > len(whole) {
+			hi = len(whole)
+		}
+		real := msg.Clone()
+		real.Fragment.Whole = nil
+		real.Fragment.Data = whole[lo:hi]
+		real.Fragment.Size = hi - lo
+		return wire.Encode(real)
+	}
+	return wire.Encode(msg)
+}
+
+func (t *Transport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, t.cfg.MaxDatagram)
+	local := t.conn.LocalAddr().String()
+	for {
+		n, from, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		if from != nil && from.String() == local {
+			continue // our own broadcast echoed back
+		}
+		msg, err := wire.Decode(append([]byte(nil), buf[:n]...))
+		if err != nil {
+			t.mu.Lock()
+			t.stats.DecodeErrors++
+			t.mu.Unlock()
+			continue
+		}
+		t.mu.Lock()
+		t.stats.DatagramsReceived++
+		recv := t.recv
+		closed := t.closed
+		t.mu.Unlock()
+		if recv != nil && !closed {
+			recv(msg)
+		}
+	}
+}
+
+// Close stops the transport; pending reads terminate.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}

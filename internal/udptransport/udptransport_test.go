@@ -1,0 +1,202 @@
+package udptransport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/wire"
+)
+
+// newPair binds two loopback transports wired at each other and
+// returns them with a cleanup.
+func newPair(t *testing.T, portA, portB int) (*Transport, *Transport) {
+	t.Helper()
+	a, err := New(LoopbackConfig(portA, []int{portB}))
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	b, err := New(LoopbackConfig(portB, []int{portA}))
+	if err != nil {
+		a.Close()
+		t.Fatalf("bind second: %v", err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+// collector gathers received messages thread-safely.
+type collector struct {
+	mu   sync.Mutex
+	msgs []*wire.Message
+}
+
+func (c *collector) add(m *wire.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *collector) wait(t *testing.T, n int, d time.Duration) []*wire.Message {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		if len(c.msgs) >= n {
+			out := append([]*wire.Message(nil), c.msgs...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.Fatalf("got %d messages, want %d", len(c.msgs), n)
+	return nil
+}
+
+func TestSendReceive(t *testing.T) {
+	a, b := newPair(t, 19801, 19802)
+	var got collector
+	b.SetReceiver(got.add)
+
+	msg := &wire.Message{
+		Type:       wire.TypeQuery,
+		TransmitID: 9,
+		From:       1,
+		Query: &wire.Query{
+			ID:   42,
+			Kind: wire.KindMetadata,
+			Sel:  attr.NewQuery(attr.Eq("a", attr.Int(1))),
+		},
+	}
+	if !a.Send(msg) {
+		t.Fatal("send failed")
+	}
+	msgs := got.wait(t, 1, 5*time.Second)
+	if msgs[0].Query == nil || msgs[0].Query.ID != 42 {
+		t.Fatalf("wrong message: %+v", msgs[0])
+	}
+	if a.Stats().DatagramsSent != 1 || b.Stats().DatagramsReceived != 1 {
+		t.Fatalf("stats: %+v / %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestVirtualFragmentMaterialization(t *testing.T) {
+	a, b := newPair(t, 19803, 19804)
+	var got collector
+	b.SetReceiver(got.add)
+
+	// A whole message too large for one fragment, split virtually the
+	// way the link layer does.
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	whole := &wire.Message{
+		Type:       wire.TypeResponse,
+		TransmitID: 1,
+		From:       1,
+		Response: &wire.Response{
+			ID:        7,
+			Kind:      wire.KindChunk,
+			Receivers: []wire.NodeID{2},
+			Blobs:     []wire.Blob{{Desc: attr.NewDescriptor().Set("c", attr.Int(0)), Payload: payload}},
+		},
+	}
+	size := wire.EncodedSize(whole)
+	const fragBytes = 1400
+	count := (size + fragBytes - 1) / fragBytes
+	var parts [][]byte
+	for i := 0; i < count; i++ {
+		fsize := fragBytes
+		if i == count-1 {
+			fsize = size - (count-1)*fragBytes
+		}
+		frag := &wire.Message{
+			Type:       wire.TypeFragment,
+			TransmitID: uint64(100 + i),
+			From:       1,
+			Fragment: &wire.Fragment{
+				OrigID: 55, Index: i, Count: count,
+				Receivers: []wire.NodeID{2},
+				Size:      fsize,
+				Whole:     whole,
+			},
+		}
+		if !a.Send(frag) {
+			t.Fatalf("send fragment %d failed", i)
+		}
+		_ = parts
+	}
+	msgs := got.wait(t, count, 5*time.Second)
+	// Receiver-side: concatenate the materialized fragment data and
+	// decode; it must equal the original message.
+	byIndex := make([][]byte, count)
+	for _, m := range msgs {
+		if m.Type != wire.TypeFragment || m.Fragment.Data == nil {
+			t.Fatalf("expected materialized fragment, got %+v", m)
+		}
+		byIndex[m.Fragment.Index] = m.Fragment.Data
+	}
+	var buf []byte
+	for _, part := range byIndex {
+		buf = append(buf, part...)
+	}
+	decoded, err := wire.Decode(buf)
+	if err != nil {
+		t.Fatalf("decode reassembled: %v", err)
+	}
+	if decoded.Response == nil || len(decoded.Response.Blobs[0].Payload) != len(payload) {
+		t.Fatal("reassembled message wrong")
+	}
+}
+
+func TestCloseStopsLoop(t *testing.T) {
+	a, err := New(LoopbackConfig(19805, []int{19806}))
+	if err != nil {
+		t.Skipf("cannot bind: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New(Config{ListenAddr: "127.0.0.1:19807"}); err == nil {
+		t.Fatal("config without destinations accepted")
+	}
+	if _, err := New(Config{ListenAddr: "not-an-address"}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+	if _, err := New(Config{ListenAddr: "127.0.0.1:19808", PeerAddrs: []string{"::bad::"}}); err == nil {
+		t.Fatal("bad peer address accepted")
+	}
+}
+
+func TestDecodeErrorCounted(t *testing.T) {
+	a, b := newPair(t, 19809, 19810)
+	b.SetReceiver(func(*wire.Message) {})
+	// Send garbage straight through a's socket to b.
+	conn := a.conn
+	dst := a.dests[0]
+	if _, err := conn.WriteToUDP([]byte{0xde, 0xad, 0xbe, 0xef}, dst); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.Stats().DecodeErrors > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("decode error not counted")
+}

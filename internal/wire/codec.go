@@ -1,0 +1,557 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/bloom"
+)
+
+// Frame layout (all integers varint/uvarint unless noted):
+//
+//	magic byte 0x9D | version 0x01 | type byte
+//	transmitID | from | flags (bit0 = NoAck)
+//	body (type-specific)
+//
+// The codec is deliberately simple and deterministic: every field is
+// written in a fixed order, so EncodedSize can be computed analytically
+// and must equal len(Encode()). TestEncodedSizeMatches enforces this.
+const (
+	frameMagic   = 0x9d
+	frameVersion = 0x01
+)
+
+func appendNodeIDs(dst []byte, ids []NodeID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = binary.AppendUvarint(dst, uint64(id))
+	}
+	return dst
+}
+
+func decodeNodeIDs(src []byte) ([]NodeID, []byte, error) {
+	n, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	if n > uint64(len(src)) { // each id takes >= 1 byte
+		return nil, nil, errTruncated
+	}
+	var ids []NodeID
+	if n > 0 {
+		ids = make([]NodeID, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, used := binary.Uvarint(src)
+		if used <= 0 {
+			return nil, nil, errTruncated
+		}
+		src = src[used:]
+		ids = append(ids, NodeID(v))
+	}
+	return ids, src, nil
+}
+
+func appendInts(dst []byte, xs []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(xs)))
+	for _, x := range xs {
+		dst = binary.AppendVarint(dst, int64(x))
+	}
+	return dst
+}
+
+func decodeInts(src []byte) ([]int, []byte, error) {
+	n, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	if n > uint64(len(src)) {
+		return nil, nil, errTruncated
+	}
+	var xs []int
+	if n > 0 {
+		xs = make([]int, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, used := binary.Varint(src)
+		if used <= 0 {
+			return nil, nil, errTruncated
+		}
+		src = src[used:]
+		xs = append(xs, int(v))
+	}
+	return xs, src, nil
+}
+
+// Encode serializes the message to a fresh buffer.
+func Encode(m *Message) ([]byte, error) {
+	dst := make([]byte, 0, 64)
+	dst = append(dst, frameMagic, frameVersion, byte(m.Type))
+	dst = binary.AppendUvarint(dst, m.TransmitID)
+	dst = binary.AppendUvarint(dst, uint64(m.From))
+	var flags byte
+	if m.NoAck {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	switch m.Type {
+	case TypeQuery:
+		if m.Query == nil {
+			return nil, fmt.Errorf("%w: query message without body", ErrBadMessage)
+		}
+		dst = appendQuery(dst, m.Query)
+	case TypeResponse:
+		if m.Response == nil {
+			return nil, fmt.Errorf("%w: response message without body", ErrBadMessage)
+		}
+		dst = appendResponse(dst, m.Response)
+	case TypeAck:
+		if m.Ack == nil {
+			return nil, fmt.Errorf("%w: ack message without body", ErrBadMessage)
+		}
+		dst = binary.AppendUvarint(dst, m.Ack.MsgID)
+		dst = binary.AppendUvarint(dst, uint64(m.Ack.From))
+	case TypeFragment:
+		f := m.Fragment
+		if f == nil {
+			return nil, fmt.Errorf("%w: fragment message without body", ErrBadMessage)
+		}
+		if f.Data == nil {
+			return nil, fmt.Errorf("%w: virtual fragment is not wire-encodable", ErrBadMessage)
+		}
+		dst = binary.AppendUvarint(dst, f.OrigID)
+		dst = binary.AppendUvarint(dst, uint64(f.Index))
+		dst = binary.AppendUvarint(dst, uint64(f.Count))
+		dst = appendNodeIDs(dst, f.Receivers)
+		dst = binary.AppendUvarint(dst, uint64(len(f.Data)))
+		dst = append(dst, f.Data...)
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, m.Type)
+	}
+	return dst, nil
+}
+
+func appendQuery(dst []byte, q *Query) []byte {
+	dst = binary.AppendUvarint(dst, q.ID)
+	dst = append(dst, byte(q.Kind))
+	dst = binary.AppendVarint(dst, int64(q.TTL))
+	dst = binary.AppendUvarint(dst, uint64(q.Sender))
+	dst = appendNodeIDs(dst, q.Receivers)
+	dst = binary.AppendUvarint(dst, uint64(q.Origin))
+	dst = binary.AppendUvarint(dst, uint64(q.Round))
+	dst = append(dst, q.HopsLeft)
+	dst = q.Sel.AppendBinary(dst)
+	dst = q.Item.AppendBinary(dst)
+	dst = appendInts(dst, q.ChunkIDs)
+	if q.Bloom != nil {
+		dst = append(dst, 1)
+		dst = q.Bloom.AppendBinary(dst)
+	} else {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+func appendResponse(dst []byte, r *Response) []byte {
+	dst = binary.AppendUvarint(dst, r.ID)
+	dst = append(dst, byte(r.Kind))
+	dst = binary.AppendUvarint(dst, uint64(r.Sender))
+	dst = appendNodeIDs(dst, r.Receivers)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Serves)))
+	for _, sv := range r.Serves {
+		dst = binary.AppendUvarint(dst, uint64(sv.Node))
+		dst = binary.AppendUvarint(dst, sv.QueryID)
+	}
+	dst = r.Item.AppendBinary(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Entries)))
+	for _, e := range r.Entries {
+		dst = e.AppendBinary(dst)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.CDI)))
+	for _, p := range r.CDI {
+		dst = binary.AppendVarint(dst, int64(p.ChunkID))
+		dst = binary.AppendVarint(dst, int64(p.HopCount))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.Blobs)))
+	for _, b := range r.Blobs {
+		dst = b.Desc.AppendBinary(dst)
+		dst = binary.AppendUvarint(dst, uint64(len(b.Payload)))
+		dst = append(dst, b.Payload...)
+	}
+	return dst
+}
+
+// Decode parses a message encoded by Encode.
+func Decode(src []byte) (*Message, error) {
+	if len(src) < 4 {
+		return nil, errTruncated
+	}
+	if src[0] != frameMagic || src[1] != frameVersion {
+		return nil, fmt.Errorf("%w: bad magic/version %x %x", ErrBadMessage, src[0], src[1])
+	}
+	m := &Message{Type: MessageType(src[2])}
+	src = src[3:]
+	var used int
+	m.TransmitID, used = binary.Uvarint(src)
+	if used <= 0 {
+		return nil, errTruncated
+	}
+	src = src[used:]
+	from, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, errTruncated
+	}
+	src = src[used:]
+	m.From = NodeID(from)
+	if len(src) < 1 {
+		return nil, errTruncated
+	}
+	m.NoAck = src[0]&1 != 0
+	src = src[1:]
+
+	var err error
+	switch m.Type {
+	case TypeQuery:
+		m.Query, src, err = decodeQuery(src)
+	case TypeResponse:
+		m.Response, src, err = decodeResponse(src)
+	case TypeAck:
+		a := &Ack{}
+		a.MsgID, used = binary.Uvarint(src)
+		if used <= 0 {
+			return nil, errTruncated
+		}
+		src = src[used:]
+		f, used := binary.Uvarint(src)
+		if used <= 0 {
+			return nil, errTruncated
+		}
+		src = src[used:]
+		a.From = NodeID(f)
+		m.Ack = a
+	case TypeFragment:
+		m.Fragment, src, err = decodeFragment(src)
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, m.Type)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(src) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(src))
+	}
+	return m, nil
+}
+
+func decodeQuery(src []byte) (*Query, []byte, error) {
+	q := &Query{}
+	var used int
+	q.ID, used = binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	if len(src) < 1 {
+		return nil, nil, errTruncated
+	}
+	q.Kind = QueryKind(src[0])
+	src = src[1:]
+	ttl, used := binary.Varint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	q.TTL = time.Duration(ttl)
+	sender, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	q.Sender = NodeID(sender)
+	var err error
+	if q.Receivers, src, err = decodeNodeIDs(src); err != nil {
+		return nil, nil, err
+	}
+	origin, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	q.Origin = NodeID(origin)
+	round, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	q.Round = uint32(round)
+	if len(src) < 1 {
+		return nil, nil, errTruncated
+	}
+	q.HopsLeft = src[0]
+	src = src[1:]
+	if q.Sel, src, err = attr.DecodeQuery(src); err != nil {
+		return nil, nil, err
+	}
+	if q.Item, src, err = attr.DecodeDescriptor(src); err != nil {
+		return nil, nil, err
+	}
+	if q.ChunkIDs, src, err = decodeInts(src); err != nil {
+		return nil, nil, err
+	}
+	if len(src) < 1 {
+		return nil, nil, errTruncated
+	}
+	hasBloom := src[0] == 1
+	src = src[1:]
+	if hasBloom {
+		if q.Bloom, src, err = bloom.Decode(src); err != nil {
+			return nil, nil, err
+		}
+	}
+	return q, src, nil
+}
+
+func decodeResponse(src []byte) (*Response, []byte, error) {
+	r := &Response{}
+	var used int
+	r.ID, used = binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	if len(src) < 1 {
+		return nil, nil, errTruncated
+	}
+	r.Kind = QueryKind(src[0])
+	src = src[1:]
+	sender, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	r.Sender = NodeID(sender)
+	var err error
+	if r.Receivers, src, err = decodeNodeIDs(src); err != nil {
+		return nil, nil, err
+	}
+	nServes, used := binary.Uvarint(src)
+	if used <= 0 || nServes > uint64(len(src)) {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	if nServes > 0 {
+		r.Serves = make([]Serve, 0, nServes)
+	}
+	for i := uint64(0); i < nServes; i++ {
+		node, used := binary.Uvarint(src)
+		if used <= 0 {
+			return nil, nil, errTruncated
+		}
+		src = src[used:]
+		qid, used := binary.Uvarint(src)
+		if used <= 0 {
+			return nil, nil, errTruncated
+		}
+		src = src[used:]
+		r.Serves = append(r.Serves, Serve{Node: NodeID(node), QueryID: qid})
+	}
+	if r.Item, src, err = attr.DecodeDescriptor(src); err != nil {
+		return nil, nil, err
+	}
+	nEntries, used := binary.Uvarint(src)
+	if used <= 0 || nEntries > uint64(len(src)) {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	if nEntries > 0 {
+		r.Entries = make([]attr.Descriptor, 0, nEntries)
+	}
+	for i := uint64(0); i < nEntries; i++ {
+		var d attr.Descriptor
+		if d, src, err = attr.DecodeDescriptor(src); err != nil {
+			return nil, nil, err
+		}
+		r.Entries = append(r.Entries, d)
+	}
+	nCDI, used := binary.Uvarint(src)
+	if used <= 0 || nCDI > uint64(len(src)) {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	if nCDI > 0 {
+		r.CDI = make([]CDIPair, 0, nCDI)
+	}
+	for i := uint64(0); i < nCDI; i++ {
+		cid, used := binary.Varint(src)
+		if used <= 0 {
+			return nil, nil, errTruncated
+		}
+		src = src[used:]
+		hc, used := binary.Varint(src)
+		if used <= 0 {
+			return nil, nil, errTruncated
+		}
+		src = src[used:]
+		r.CDI = append(r.CDI, CDIPair{ChunkID: int(cid), HopCount: int(hc)})
+	}
+	nBlobs, used := binary.Uvarint(src)
+	if used <= 0 || nBlobs > uint64(len(src))+1 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	if nBlobs > 0 {
+		r.Blobs = make([]Blob, 0, nBlobs)
+	}
+	for i := uint64(0); i < nBlobs; i++ {
+		var b Blob
+		if b.Desc, src, err = attr.DecodeDescriptor(src); err != nil {
+			return nil, nil, err
+		}
+		plen, used := binary.Uvarint(src)
+		if used <= 0 || plen > uint64(len(src)-used) {
+			return nil, nil, errTruncated
+		}
+		src = src[used:]
+		b.Payload = append([]byte(nil), src[:plen]...)
+		src = src[plen:]
+		r.Blobs = append(r.Blobs, b)
+	}
+	return r, src, nil
+}
+
+func decodeFragment(src []byte) (*Fragment, []byte, error) {
+	f := &Fragment{}
+	var used int
+	f.OrigID, used = binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	idx, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	f.Index = int(idx)
+	cnt, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	f.Count = int(cnt)
+	var err error
+	if f.Receivers, src, err = decodeNodeIDs(src); err != nil {
+		return nil, nil, err
+	}
+	dlen, used := binary.Uvarint(src)
+	if used <= 0 || dlen > uint64(len(src)-used) {
+		return nil, nil, errTruncated
+	}
+	src = src[used:]
+	f.Data = append([]byte(nil), src[:dlen]...)
+	f.Size = int(dlen)
+	src = src[dlen:]
+	return f, src, nil
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen returns the encoded length of v as a zig-zag varint.
+func varintLen(v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return uvarintLen(uv)
+}
+
+// EncodedSize returns len(Encode(m)) without serializing payload bytes.
+// The simulator charges airtime and the overhead metric from this.
+func EncodedSize(m *Message) int {
+	n := 3 // magic, version, type
+	n += uvarintLen(m.TransmitID)
+	n += uvarintLen(uint64(m.From))
+	n++ // flags
+	switch m.Type {
+	case TypeQuery:
+		q := m.Query
+		n += uvarintLen(q.ID)
+		n++ // kind
+		n += varintLen(int64(q.TTL))
+		n += uvarintLen(uint64(q.Sender))
+		n += uvarintLen(uint64(len(q.Receivers)))
+		for _, id := range q.Receivers {
+			n += uvarintLen(uint64(id))
+		}
+		n += uvarintLen(uint64(q.Origin))
+		n += uvarintLen(uint64(q.Round))
+		n++ // hops left
+		n += len(q.Sel.AppendBinary(nil))
+		n += q.Item.EncodedSize()
+		n += uvarintLen(uint64(len(q.ChunkIDs)))
+		for _, c := range q.ChunkIDs {
+			n += varintLen(int64(c))
+		}
+		n++ // bloom presence flag
+		if q.Bloom != nil {
+			n += q.Bloom.EncodedSize()
+		}
+	case TypeResponse:
+		r := m.Response
+		n += uvarintLen(r.ID)
+		n++ // kind
+		n += uvarintLen(uint64(r.Sender))
+		n += uvarintLen(uint64(len(r.Receivers)))
+		for _, id := range r.Receivers {
+			n += uvarintLen(uint64(id))
+		}
+		n += uvarintLen(uint64(len(r.Serves)))
+		for _, sv := range r.Serves {
+			n += uvarintLen(uint64(sv.Node))
+			n += uvarintLen(sv.QueryID)
+		}
+		n += r.Item.EncodedSize()
+		n += uvarintLen(uint64(len(r.Entries)))
+		for _, e := range r.Entries {
+			n += e.EncodedSize()
+		}
+		n += uvarintLen(uint64(len(r.CDI)))
+		for _, p := range r.CDI {
+			n += varintLen(int64(p.ChunkID))
+			n += varintLen(int64(p.HopCount))
+		}
+		n += uvarintLen(uint64(len(r.Blobs)))
+		for _, b := range r.Blobs {
+			n += b.Desc.EncodedSize()
+			n += uvarintLen(uint64(len(b.Payload)))
+			n += len(b.Payload)
+		}
+	case TypeAck:
+		n += uvarintLen(m.Ack.MsgID)
+		n += uvarintLen(uint64(m.Ack.From))
+	case TypeFragment:
+		f := m.Fragment
+		n += uvarintLen(f.OrigID)
+		n += uvarintLen(uint64(f.Index))
+		n += uvarintLen(uint64(f.Count))
+		n += uvarintLen(uint64(len(f.Receivers)))
+		for _, id := range f.Receivers {
+			n += uvarintLen(uint64(id))
+		}
+		n += uvarintLen(uint64(f.Size))
+		n += f.Size
+	}
+	return n
+}

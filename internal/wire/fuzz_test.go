@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode hammers the codec with arbitrary bytes: it must never
+// panic, and everything it accepts must re-encode to the same bytes
+// (canonical form).
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		m := randomMessage(rng)
+		buf, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{frameMagic, frameVersion, byte(TypeQuery)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		re2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		re3, err := Encode(re2)
+		if err != nil || string(re3) != string(re) {
+			t.Fatal("encode/decode not idempotent")
+		}
+		if EncodedSize(m) != len(re) {
+			t.Fatalf("EncodedSize %d != %d", EncodedSize(m), len(re))
+		}
+	})
+}

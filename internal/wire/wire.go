@@ -1,0 +1,322 @@
+// Package wire defines the PDS message formats and their binary
+// encoding.
+//
+// Three message types exist (§III, §V-1): queries, responses and per-hop
+// acks. Queries and responses carry an explicit intended-receiver list;
+// every in-range node overhears a broadcast frame and caches useful
+// content, but only listed receivers process it further (§V).
+//
+// The package provides both a real codec (Encode/Decode, used by the UDP
+// transport) and an analytic EncodedSize (used by the simulator to charge
+// airtime and the message-overhead metric without serializing chunk
+// payloads). A property test asserts the two always agree.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/bloom"
+)
+
+// NodeID identifies a PDS node. IDs are assigned by the deployment
+// (simulation scenario or UDP transport) and only need to be unique
+// within the network, as the paper assumes for its receiver lists.
+type NodeID uint32
+
+// Broadcast is the reserved "all neighbors" value: a receiver list that
+// is empty means every neighbor should process the message.
+const Broadcast NodeID = 0
+
+// MessageType discriminates the three wire messages.
+type MessageType uint8
+
+// Wire message types.
+const (
+	TypeQuery MessageType = iota + 1
+	TypeResponse
+	TypeAck
+	TypeFragment
+)
+
+// String returns the lowercase name of the message type.
+func (t MessageType) String() string {
+	switch t {
+	case TypeQuery:
+		return "query"
+	case TypeResponse:
+		return "response"
+	case TypeAck:
+		return "ack"
+	case TypeFragment:
+		return "fragment"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// QueryKind discriminates what a query asks for and what the matching
+// response carries.
+type QueryKind uint8
+
+// Query kinds: metadata discovery (PDD), small data items, chunk
+// distribution information (PDR phase 1) and data chunks (PDR phase 2).
+const (
+	KindMetadata QueryKind = iota + 1
+	KindData
+	KindCDI
+	KindChunk
+)
+
+// String returns the lowercase name of the query kind.
+func (k QueryKind) String() string {
+	switch k {
+	case KindMetadata:
+		return "metadata"
+	case KindData:
+		return "data"
+	case KindCDI:
+		return "cdi"
+	case KindChunk:
+		return "chunk"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Query is the wire form of a PDD/PDR query (§III-A, §IV-A, §IV-B).
+type Query struct {
+	// ID is globally unique and detects redundant copies (LQT lookup).
+	ID uint64
+	// Kind selects the data plane: metadata, small data, CDI or chunks.
+	Kind QueryKind
+	// TTL is the remaining lifetime; each hop computes a local expiry
+	// as now+TTL. Expired lingering queries are removed from the LQT.
+	TTL time.Duration
+	// Sender is the node transmitting the query at the current hop;
+	// responses return to it.
+	Sender NodeID
+	// Receivers lists intended next-hop receivers. Empty means all
+	// neighbors should relay.
+	Receivers []NodeID
+	// Origin is the consumer that generated the query. It never changes
+	// as the query is relayed; metrics and round bookkeeping key on it.
+	Origin NodeID
+	// Round is the discovery round number at the origin; the Bloom salt
+	// is derived from it so false positives re-randomize per round.
+	Round uint32
+	// HopsLeft limits flood propagation when positive: each forwarding
+	// hop decrements it and a query arriving with 1 is not forwarded
+	// further. Zero means unlimited (§III-A: PDS targets limited-size
+	// networks and does not scope queries by default, "however, such
+	// limiting can be achieved easily with a hop counter if needed").
+	HopsLeft uint8
+	// Sel filters which descriptors are requested (empty = all of Kind).
+	Sel attr.Query
+	// Item is the descriptor of the requested data item for KindCDI and
+	// KindChunk queries ("descriptor" field in §IV-A).
+	Item attr.Descriptor
+	// ChunkIDs is the subset of chunks requested by a KindChunk query.
+	ChunkIDs []int
+	// Bloom holds the redundancy-detection filter of entries already
+	// received by the consumer; nil when redundancy detection is off.
+	Bloom *bloom.Filter
+}
+
+// CDIPair reports that a chunk is retrievable at a hop count from the
+// transmitting node (§IV-A: "a list of ChunkId-HopCount pairs").
+type CDIPair struct {
+	ChunkID  int
+	HopCount int
+}
+
+// Blob is a payload-bearing unit in a response: a whole small data item
+// (KindData) or one chunk of a large item (KindChunk).
+type Blob struct {
+	Desc    attr.Descriptor
+	Payload []byte
+}
+
+// Serve names one forwarding role of a response: the receiver should
+// relay the response's content onward for the given query. Binding each
+// receiver to the query it serves keeps a response on that query's
+// reverse tree; without the binding, every relay would re-fork the
+// response toward every lingering query and one response would flood
+// the whole mesh once per consumer.
+type Serve struct {
+	// Node is the intended next-hop receiver.
+	Node NodeID
+	// QueryID is the lingering query whose reverse path the receiver
+	// continues.
+	QueryID uint64
+}
+
+// Response is the wire form of a PDD/PDR response (§III-A, §IV-A).
+type Response struct {
+	// ID is random and globally unique; nodes keep a recent-response
+	// cache to drop duplicates (RR lookup).
+	ID uint64
+	// Kind mirrors the query kind the response answers.
+	Kind QueryKind
+	// Sender is the node transmitting the response at the current hop.
+	Sender NodeID
+	// Receivers lists the next-hop nodes on return paths, derived from
+	// the senders of matching lingering queries.
+	Receivers []NodeID
+	// Serves binds each receiver to the queries it relays for (one
+	// entry per receiver-query pair; mixedcast responses carry several).
+	// Chunk responses route by per-hop wanted sets instead and leave it
+	// empty.
+	Serves []Serve
+	// Item echoes the requested item descriptor for KindCDI/KindChunk.
+	Item attr.Descriptor
+	// Entries carries metadata entries (KindMetadata payload).
+	Entries []attr.Descriptor
+	// CDI carries ChunkID-HopCount pairs (KindCDI payload).
+	CDI []CDIPair
+	// Blobs carries data payloads (KindData and KindChunk payload).
+	Blobs []Blob
+}
+
+// Fragment is one link-layer fragment of a message larger than the
+// 1.5 KB packet size the prototype transmits (§V-4). Each fragment is
+// individually acknowledged and retransmitted, which is what lets a
+// 256 KB chunk survive a lossy channel (a monolithic datagram would be
+// lost whenever any one of its ~171 frames collided).
+//
+// In simulation, fragments are virtual: Whole carries the original
+// message by reference and Size declares the fragment's wire size, so a
+// chunk is never re-serialized hop by hop. A real transport sets Data
+// to the actual byte range instead, and the receiver reassembles and
+// decodes. Exactly one of Whole and Data is set.
+type Fragment struct {
+	// OrigID identifies the fragmented message; all fragments of one
+	// message share it.
+	OrigID uint64
+	// Index and Count locate this fragment (0 ≤ Index < Count).
+	Index, Count int
+	// Receivers lists the intended next-hop receivers, narrowed on
+	// retransmission like any other frame.
+	Receivers []NodeID
+	// Size is the payload byte count this fragment represents.
+	Size int
+	// Whole is the original message (simulation path).
+	Whole *Message
+	// Data is the raw byte range (real transport path).
+	Data []byte
+}
+
+// Ack acknowledges one received transmission (§V-1): it carries the ID
+// of the acknowledged message and the receiver's own ID.
+type Ack struct {
+	// MsgID is the TransmitID of the acknowledged frame.
+	MsgID uint64
+	// From is the acknowledging node.
+	From NodeID
+}
+
+// Message is the transmission envelope handed to a transport. Exactly one
+// of Query, Response, Ack is non-nil, per Type.
+type Message struct {
+	// Type discriminates the body.
+	Type MessageType
+	// TransmitID identifies this logical transmission for per-hop
+	// ack/retransmission. Retransmissions of the same content keep the
+	// same TransmitID so receivers can deduplicate.
+	TransmitID uint64
+	// From is the transmitting node.
+	From NodeID
+	// NoAck marks transmissions that must not be acknowledged (acks
+	// themselves, and transmissions whose receiver list is empty/all).
+	NoAck bool
+
+	Query    *Query
+	Response *Response
+	Ack      *Ack
+	Fragment *Fragment
+}
+
+// Receivers returns the intended receiver list of the body (nil for
+// acks, which are addressed by their MsgID bookkeeping instead).
+func (m *Message) Receivers() []NodeID {
+	switch m.Type {
+	case TypeQuery:
+		if m.Query != nil {
+			return m.Query.Receivers
+		}
+	case TypeResponse:
+		if m.Response != nil {
+			return m.Response.Receivers
+		}
+	case TypeFragment:
+		if m.Fragment != nil {
+			return m.Fragment.Receivers
+		}
+	}
+	return nil
+}
+
+// IsIntendedFor reports whether id must act on the message: either the
+// receiver list is empty (all neighbors) or it contains id.
+func (m *Message) IsIntendedFor(id NodeID) bool {
+	rs := m.Receivers()
+	if len(rs) == 0 {
+		return m.Type != TypeAck
+	}
+	for _, r := range rs {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy safe for independent mutation by another node.
+// Chunk payload bytes are shared (they are immutable once published), so
+// cloning a 256 KB chunk message costs only header work; this is what
+// lets the simulator cache large items at every overhearing node without
+// duplicating memory.
+func (m *Message) Clone() *Message {
+	out := &Message{
+		Type:       m.Type,
+		TransmitID: m.TransmitID,
+		From:       m.From,
+		NoAck:      m.NoAck,
+	}
+	if m.Query != nil {
+		q := *m.Query
+		q.Receivers = append([]NodeID(nil), m.Query.Receivers...)
+		q.ChunkIDs = append([]int(nil), m.Query.ChunkIDs...)
+		if m.Query.Bloom != nil {
+			q.Bloom = m.Query.Bloom.Clone()
+		}
+		out.Query = &q
+	}
+	if m.Response != nil {
+		r := *m.Response
+		r.Receivers = append([]NodeID(nil), m.Response.Receivers...)
+		r.Serves = append([]Serve(nil), m.Response.Serves...)
+		r.Entries = append([]attr.Descriptor(nil), m.Response.Entries...)
+		r.CDI = append([]CDIPair(nil), m.Response.CDI...)
+		r.Blobs = append([]Blob(nil), m.Response.Blobs...)
+		out.Response = &r
+	}
+	if m.Ack != nil {
+		a := *m.Ack
+		out.Ack = &a
+	}
+	if m.Fragment != nil {
+		f := *m.Fragment
+		f.Receivers = append([]NodeID(nil), m.Fragment.Receivers...)
+		// Whole and Data are shared: both are immutable once published.
+		out.Fragment = &f
+	}
+	return out
+}
+
+var errTruncated = errors.New("wire: truncated message")
+
+// ErrBadMessage is returned by Decode for structurally invalid input.
+var ErrBadMessage = errors.New("wire: bad message")

@@ -1,0 +1,251 @@
+package pds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pds/internal/clock"
+	"pds/internal/core"
+	"pds/internal/link"
+	"pds/internal/wire"
+)
+
+// Transport carries frames between peers. Implementations must invoke
+// the receive callback (set via SetReceiver) for every incoming frame,
+// from any goroutine, and Send must not block for long.
+// udptransport (used via WithUDP) is the standard implementation.
+type Transport interface {
+	// Send broadcasts a frame to all reachable peers. It reports false
+	// when the frame was dropped locally (e.g. a full buffer).
+	Send(msg *Message) bool
+	// SetReceiver registers the frame sink. Called once before any
+	// Send.
+	SetReceiver(fn func(*Message))
+	// Close stops the transport.
+	Close() error
+}
+
+// Node is a real-time PDS endpoint: the protocol engine bound to a
+// transport and the wall clock. All methods are safe for concurrent
+// use.
+type Node struct {
+	id    NodeID
+	clk   *clock.Real
+	core  *core.Node
+	link  *link.Link
+	trans Transport
+}
+
+// NodeOption configures NewNode.
+type NodeOption func(*nodeOptions)
+
+type nodeOptions struct {
+	id       NodeID
+	cfg      core.Config
+	linkCfg  *link.Config
+	seed     int64
+	seedSet  bool
+	cacheCap int
+}
+
+// WithNodeID sets the node id; default is randomly drawn. IDs must be
+// unique among communicating peers.
+func WithNodeID(id NodeID) NodeOption {
+	return func(o *nodeOptions) { o.id = id }
+}
+
+// WithConfig overrides the protocol configuration.
+func WithConfig(cfg Config) NodeOption {
+	return func(o *nodeOptions) { o.cfg = cfg }
+}
+
+// WithLinkConfig overrides the reliability-layer configuration.
+func WithLinkConfig(cfg link.Config) NodeOption {
+	return func(o *nodeOptions) { o.linkCfg = &cfg }
+}
+
+// WithSeed makes the node's randomness deterministic (tests).
+func WithSeed(seed int64) NodeOption {
+	return func(o *nodeOptions) { o.seed = seed; o.seedSet = true }
+}
+
+// WithCacheCap bounds cached payload bytes (0 = unlimited).
+func WithCacheCap(capBytes int) NodeOption {
+	return func(o *nodeOptions) { o.cacheCap = capBytes }
+}
+
+// NewNode creates a real-time node on the transport.
+func NewNode(trans Transport, opts ...NodeOption) (*Node, error) {
+	if trans == nil {
+		return nil, errors.New("pds: nil transport")
+	}
+	o := nodeOptions{cfg: core.DefaultConfig(), seed: time.Now().UnixNano()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	if o.id == 0 {
+		o.id = NodeID(rng.Uint32() | 1) // non-zero
+	}
+	if o.cacheCap > 0 {
+		o.cfg.CacheCap = o.cacheCap
+	}
+	clk := clock.NewReal()
+	n := &Node{id: o.id, clk: clk, trans: trans}
+
+	lcfg := link.DefaultConfig(func(max time.Duration) time.Duration {
+		if max <= 0 {
+			return 0
+		}
+		return time.Duration(rng.Int63n(int64(max)))
+	})
+	if o.linkCfg != nil {
+		jitter := lcfg.Jitter
+		lcfg = *o.linkCfg
+		if lcfg.Jitter == nil {
+			lcfg.Jitter = jitter
+		}
+	}
+	n.link = link.New(clk, o.id, func(m *wire.Message) bool { return trans.Send(m) }, lcfg)
+	n.core = core.NewNode(o.id, clk, rng, func(m *wire.Message) { n.link.Send(m) }, o.cfg)
+	n.link.OnGiveUp = n.core.OnSendFailure
+	trans.SetReceiver(func(m *wire.Message) {
+		clk.Locked(func() {
+			if up := n.link.HandleIncoming(m); up != nil {
+				n.core.HandleMessage(up)
+			}
+		})
+	})
+	return n, nil
+}
+
+// ID returns the node id.
+func (n *Node) ID() NodeID { return n.id }
+
+// Close stops the node and its transport.
+func (n *Node) Close() error {
+	n.clk.Locked(func() { n.core.Stop() })
+	return n.trans.Close()
+}
+
+// Publish makes a small data item available to peers.
+func (n *Node) Publish(d Descriptor, payload []byte) {
+	n.clk.Locked(func() { n.core.PublishSmall(d, payload) })
+}
+
+// PublishEntry announces metadata without a payload.
+func (n *Node) PublishEntry(d Descriptor) {
+	n.clk.Locked(func() { n.core.PublishEntry(d) })
+}
+
+// PublishItem chunks and publishes a large item; it returns the item
+// descriptor completed with the totalchunks attribute, which consumers
+// need for retrieval.
+func (n *Node) PublishItem(d Descriptor, payload []byte, chunkSize int) Descriptor {
+	var out Descriptor
+	n.clk.Locked(func() { out = n.core.PublishItem(d, payload, chunkSize) })
+	return out
+}
+
+// Unpublish withdraws a previously published item or entry.
+func (n *Node) Unpublish(d Descriptor) {
+	n.clk.Locked(func() { n.core.Unpublish(d) })
+}
+
+// Discover runs Peer Data Discovery for the selector and returns the
+// metadata entries found. It blocks until the multi-round controller
+// decides no more data is coming, or ctx is done.
+func (n *Node) Discover(ctx context.Context, sel Query) ([]Descriptor, error) {
+	res, err := n.discover(ctx, sel, core.DiscoverOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Entries, nil
+}
+
+// Collect retrieves all small data items matching the selector and
+// returns descriptor/payload pairs keyed by descriptor key.
+func (n *Node) Collect(ctx context.Context, sel Query) (map[string][]byte, []Descriptor, error) {
+	res, err := n.discover(ctx, sel, core.DiscoverOptions{
+		Kind:            wire.KindData,
+		CollectPayloads: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Payloads, res.Entries, nil
+}
+
+func (n *Node) discover(ctx context.Context, sel Query, opts core.DiscoverOptions) (DiscoveryResult, error) {
+	done := make(chan DiscoveryResult, 1)
+	n.clk.Locked(func() {
+		n.core.Discover(sel, opts, func(r DiscoveryResult) { done <- r })
+	})
+	select {
+	case r := <-done:
+		return r, nil
+	case <-ctx.Done():
+		return DiscoveryResult{}, fmt.Errorf("pds: discover: %w", ctx.Err())
+	}
+}
+
+// Retrieve fetches a large item (two-phase PDR) and returns the
+// assembled payload. The descriptor must carry totalchunks, normally
+// obtained from Discover.
+func (n *Node) Retrieve(ctx context.Context, item Descriptor) ([]byte, error) {
+	return n.RetrieveWithProgress(ctx, item, nil)
+}
+
+// RetrieveWithProgress is Retrieve with a progress callback invoked
+// after each arriving chunk with (chunks held, total). The callback
+// runs on the node's internal goroutine and must not block.
+func (n *Node) RetrieveWithProgress(ctx context.Context, item Descriptor, progress func(done, total int)) ([]byte, error) {
+	done := make(chan RetrievalResult, 1)
+	n.clk.Locked(func() {
+		n.core.RetrieveWithProgress(item, progress, func(r RetrievalResult) { done <- r })
+	})
+	select {
+	case r := <-done:
+		if !r.Complete {
+			return nil, fmt.Errorf("pds: retrieve %s: incomplete (%d/%d chunks)",
+				item, len(r.Chunks), item.TotalChunks())
+		}
+		payload, ok := r.Assemble()
+		if !ok {
+			return nil, fmt.Errorf("pds: retrieve %s: assembly failed", item)
+		}
+		return payload, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("pds: retrieve: %w", ctx.Err())
+	}
+}
+
+// Stats returns protocol counters.
+func (n *Node) Stats() core.Stats {
+	var s core.Stats
+	n.clk.Locked(func() { s = n.core.Stats() })
+	return s
+}
+
+// LocalEntries lists the metadata entries currently in this node's
+// store (own and cached) matching the selector. It answers locally
+// without any network traffic; use Discover to query the neighborhood.
+func (n *Node) LocalEntries(sel Query) []Descriptor {
+	var out []Descriptor
+	n.clk.Locked(func() {
+		out = n.core.Store().Match(sel, n.clk.Now())
+	})
+	return out
+}
+
+// LocalData reports how many chunks of the item this node currently
+// holds, out of the item's total.
+func (n *Node) LocalData(item Descriptor) (held, total int) {
+	n.clk.Locked(func() {
+		held = len(n.core.Store().ChunksHeld(item.ItemDescriptor().Key()))
+	})
+	return held, item.TotalChunks()
+}

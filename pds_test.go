@@ -1,0 +1,351 @@
+package pds
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sensorDesc(name string) Descriptor {
+	return NewDescriptor().
+		Set(AttrNamespace, String("env")).
+		Set(AttrDataType, String("nox")).
+		Set(AttrName, String(name))
+}
+
+func sensorSel() Query {
+	return NewQuery(Eq(AttrNamespace, String("env")))
+}
+
+// TestRealNodesOverChanHub runs two real-time nodes over the in-process
+// hub: publish on one, discover and collect from the other.
+func TestRealNodesOverChanHub(t *testing.T) {
+	hub := NewChanHub()
+	a, err := NewNode(hub.Attach(), WithNodeID(1), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewNode(hub.Attach(), WithNodeID(2), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a.Publish(sensorDesc("s1"), []byte("42ppb"))
+	a.Publish(sensorDesc("s2"), []byte("17ppb"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	entries, err := b.Discover(ctx, sensorSel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("discovered %d entries, want 2", len(entries))
+	}
+	payloads, descs, err := b.Collect(ctx, sensorSel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 2 || len(payloads) != 2 {
+		t.Fatalf("collected %d descs / %d payloads", len(descs), len(payloads))
+	}
+}
+
+// TestRealNodesRetrieveItem moves a chunked item across the hub.
+func TestRealNodesRetrieveItem(t *testing.T) {
+	hub := NewChanHub()
+	a, err := NewNode(hub.Attach(), WithNodeID(1), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewNode(hub.Attach(), WithNodeID(2), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	payload := make([]byte, 5000)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	item := NewDescriptor().
+		Set(AttrNamespace, String("media")).
+		Set(AttrName, String("clip"))
+	item = a.PublishItem(item, payload, 2048)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	got, err := b.Retrieve(ctx, item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("retrieved %d bytes, want %d", len(got), len(payload))
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("payload corrupted at byte %d", i)
+		}
+	}
+}
+
+// TestRealNodesOverLoopbackUDP runs two nodes over real UDP sockets on
+// 127.0.0.1, exercising the full encode/fragment/reassemble path.
+func TestRealNodesOverLoopbackUDP(t *testing.T) {
+	ta, err := NewLoopbackTransport(19751, []int{19752})
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	tb, err := NewLoopbackTransport(19752, []int{19751})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewNode(ta, WithNodeID(1), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewNode(tb, WithNodeID(2), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	payload := make([]byte, 20000) // forces fragmentation over UDP
+	for i := range payload {
+		payload[i] = byte(i % 127)
+	}
+	item := a.PublishItem(NewDescriptor().Set(AttrName, String("doc")), payload, 8192)
+	a.Publish(sensorDesc("s1"), []byte("x"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	entries, err := b.Discover(ctx, NewQuery(Exists(AttrName)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("discovered %d entries over UDP", len(entries))
+	}
+	got, err := b.Retrieve(ctx, item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("retrieved %d bytes, want %d", len(got), len(payload))
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("payload corrupted at byte %d", i)
+		}
+	}
+}
+
+// TestSimFacade drives the public simulation API end to end.
+func TestSimFacade(t *testing.T) {
+	sim := NewGridSim(5, 5, SimOptions{Seed: 3})
+	producer := sim.Node(1)
+	consumer := sim.Node(13) // center of 5x5
+	for i := 0; i < 10; i++ {
+		producer.Publish(sensorDesc(string(rune('a'+i))), []byte{byte(i)})
+	}
+	res, done := consumer.DiscoverAndWait(sensorSel(), 2*time.Minute)
+	if !done {
+		t.Fatal("discovery did not finish")
+	}
+	if len(res.Entries) != 10 {
+		t.Fatalf("entries = %d", len(res.Entries))
+	}
+	if sim.OverheadBytes() == 0 {
+		t.Fatal("no traffic counted")
+	}
+
+	item := producer.PublishItem(NewDescriptor().Set(AttrName, String("v")), make([]byte, 100000), DefaultChunkSize)
+	rres, done := consumer.RetrieveAndWait(item, 5*time.Minute)
+	if !done || !rres.Complete {
+		t.Fatalf("retrieval done=%v complete=%v", done, rres.Complete)
+	}
+}
+
+// TestSimMobileFacade smoke-tests the mobile deployment constructor.
+func TestSimMobileFacade(t *testing.T) {
+	sim, ids := NewMobileSim(1.0, 5*time.Minute, SimOptions{Seed: 4})
+	if len(ids) == 0 {
+		t.Fatal("no initial nodes")
+	}
+	prod := sim.Node(ids[0])
+	prod.PublishEntry(sensorDesc("m1"))
+	res, done := sim.Node(ids[len(ids)-1]).DiscoverAndWait(sensorSel(), 2*time.Minute)
+	if !done {
+		t.Fatal("mobile discovery did not finish")
+	}
+	if len(res.Entries) != 1 {
+		t.Fatalf("entries = %d", len(res.Entries))
+	}
+}
+
+// TestRetrieveWithProgress verifies the progress callback fires with
+// monotonically nondecreasing counts ending at total.
+func TestRetrieveWithProgress(t *testing.T) {
+	hub := NewChanHub()
+	a, err := NewNode(hub.Attach(), WithNodeID(1), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewNode(hub.Attach(), WithNodeID(2), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	item := a.PublishItem(NewDescriptor().Set(AttrName, String("p")), make([]byte, 9000), 2048)
+	var mu sync.Mutex
+	var progress []int
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	data, err := b.RetrieveWithProgress(ctx, item, func(done, total int) {
+		mu.Lock()
+		progress = append(progress, done)
+		mu.Unlock()
+		if total != item.TotalChunks() {
+			t.Errorf("total = %d", total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 9000 {
+		t.Fatalf("data = %d bytes", len(data))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(progress) == 0 {
+		t.Fatal("no progress callbacks")
+	}
+	for i := 1; i < len(progress); i++ {
+		if progress[i] < progress[i-1] {
+			t.Fatalf("progress regressed: %v", progress)
+		}
+	}
+	if progress[len(progress)-1] != item.TotalChunks() {
+		t.Fatalf("final progress %d != total %d", progress[len(progress)-1], item.TotalChunks())
+	}
+}
+
+// TestLocalIntrospection covers the store-inspection helpers.
+func TestLocalIntrospection(t *testing.T) {
+	hub := NewChanHub()
+	n, err := NewNode(hub.Attach(), WithNodeID(1), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.Publish(sensorDesc("s1"), []byte("v"))
+	item := n.PublishItem(NewDescriptor().Set(AttrName, String("big")), make([]byte, 5000), 2048)
+
+	if got := n.LocalEntries(sensorSel()); len(got) != 1 {
+		t.Fatalf("LocalEntries = %d", len(got))
+	}
+	held, total := n.LocalData(item)
+	if held != 3 || total != 3 {
+		t.Fatalf("LocalData = %d/%d", held, total)
+	}
+	n.Unpublish(sensorDesc("s1"))
+	if got := n.LocalEntries(sensorSel()); len(got) != 0 {
+		t.Fatalf("LocalEntries after unpublish = %d", len(got))
+	}
+}
+
+// TestNodeErrorPaths covers constructor and context failures.
+func TestNodeErrorPaths(t *testing.T) {
+	if _, err := NewNode(nil); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+	hub := NewChanHub()
+	n, err := NewNode(hub.Attach(), WithNodeID(7), WithSeed(7), WithCacheCap(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// A cancelled context aborts a blocking discovery immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.Discover(ctx, NewQuery()); err == nil {
+		t.Fatal("cancelled discover returned nil error")
+	}
+	if _, err := n.Retrieve(ctx, NewDescriptor().Set(AttrTotalChunks, Int(3))); err == nil {
+		t.Fatal("cancelled retrieve returned nil error")
+	}
+	if _, _, err := n.Collect(ctx, NewQuery()); err == nil {
+		t.Fatal("cancelled collect returned nil error")
+	}
+}
+
+// TestRetrieveIncompleteError: retrieving a phantom item yields an
+// error naming the shortfall, not a silent empty payload.
+func TestRetrieveIncompleteError(t *testing.T) {
+	hub := NewChanHub()
+	n, err := NewNode(hub.Attach(), WithNodeID(1), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	cfg := DefaultConfig()
+	_ = cfg
+	ghost := NewDescriptor().Set(AttrName, String("ghost")).Set(AttrTotalChunks, Int(2))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if _, err := n.Retrieve(ctx, ghost); err == nil {
+		t.Fatal("phantom retrieval succeeded")
+	}
+}
+
+// TestChanHubCloseStopsDelivery: frames sent after a member closes are
+// not delivered to it.
+func TestChanHubCloseStopsDelivery(t *testing.T) {
+	hub := NewChanHub()
+	a := hub.Attach()
+	b := hub.Attach()
+	got := make(chan *Message, 16)
+	b.SetReceiver(func(m *Message) { got <- m })
+	msg := &Message{Type: 3, Ack: &Ack{MsgID: 1, From: 1}}
+	a.Send(msg)
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery before close failed")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a.Send(msg)
+	select {
+	case <-got:
+		t.Fatal("delivery after close")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestNodeStatsExposed sanity-checks the counters surface.
+func TestNodeStatsExposed(t *testing.T) {
+	hub := NewChanHub()
+	a, _ := NewNode(hub.Attach(), WithNodeID(1), WithSeed(1))
+	defer a.Close()
+	b, _ := NewNode(hub.Attach(), WithNodeID(2), WithSeed(2))
+	defer b.Close()
+	a.Publish(sensorDesc("s"), []byte("x"))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := b.Discover(ctx, sensorSel()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().QueriesReceived == 0 {
+		t.Fatal("producer saw no queries")
+	}
+}

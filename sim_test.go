@@ -1,0 +1,78 @@
+package pds
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSimDeterministicAcrossRuns: the public simulation facade inherits
+// the engine's reproducibility guarantee.
+func TestSimDeterministicAcrossRuns(t *testing.T) {
+	run := func() (time.Duration, uint64) {
+		sim := NewGridSim(4, 4, SimOptions{Seed: 99})
+		for i := 0; i < 20; i++ {
+			sim.Node(NodeID(1 + i%16)).PublishEntry(
+				NewDescriptor().Set(AttrName, String(string(rune('a'+i)))))
+		}
+		res, ok := sim.Node(6).DiscoverAndWait(NewQuery(Exists(AttrName)), 2*time.Minute)
+		if !ok {
+			t.Fatal("discovery did not finish")
+		}
+		return res.Latency, sim.OverheadBytes()
+	}
+	l1, o1 := run()
+	l2, o2 := run()
+	if l1 != l2 || o1 != o2 {
+		t.Fatalf("same seed diverged: (%v,%d) vs (%v,%d)", l1, o1, l2, o2)
+	}
+}
+
+func TestSimNodeLookup(t *testing.T) {
+	sim := NewSim(SimOptions{Seed: 1})
+	if sim.Node(42) != nil {
+		t.Fatal("lookup of absent node returned a handle")
+	}
+	n := sim.AddNode(42, 0, 0)
+	if n.ID() != 42 {
+		t.Fatalf("ID = %d", n.ID())
+	}
+	if sim.Node(42) == nil {
+		t.Fatal("added node not found")
+	}
+	sim.RemoveNode(42)
+	if sim.Node(42) != nil {
+		t.Fatal("removed node still found")
+	}
+}
+
+func TestSimMoveNodeAffectsReachability(t *testing.T) {
+	sim := NewSim(SimOptions{Seed: 2})
+	a := sim.AddNode(1, 0, 0)
+	b := sim.AddNode(2, 500, 0) // far out of range
+	a.PublishEntry(NewDescriptor().Set(AttrName, String("x")))
+	res, ok := b.DiscoverAndWait(NewQuery(Exists(AttrName)), time.Minute)
+	if !ok || len(res.Entries) != 0 {
+		t.Fatalf("out-of-range discovery found %d entries (ok=%v)", len(res.Entries), ok)
+	}
+	sim.MoveNode(2, 30, 0)
+	res, ok = b.DiscoverAndWait(NewQuery(Exists(AttrName)), 2*time.Minute)
+	if !ok || len(res.Entries) != 1 {
+		t.Fatalf("in-range discovery found %d entries (ok=%v)", len(res.Entries), ok)
+	}
+}
+
+// TestSimRetrieveIncompleteReported: retrieving an item whose chunks do
+// not exist must report an incomplete result rather than hang.
+func TestSimRetrieveIncompleteReported(t *testing.T) {
+	sim := NewGridSim(3, 3, SimOptions{Seed: 3})
+	ghost := NewDescriptor().
+		Set(AttrName, String("ghost")).
+		Set(AttrTotalChunks, Int(4))
+	res, ok := sim.Node(5).RetrieveAndWait(ghost, 20*time.Minute)
+	if !ok {
+		t.Fatal("retrieval session never reported")
+	}
+	if res.Complete {
+		t.Fatal("retrieval of nonexistent chunks reported complete")
+	}
+}

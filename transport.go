@@ -1,0 +1,127 @@
+package pds
+
+import (
+	"sync"
+
+	"pds/internal/udptransport"
+	"pds/internal/wire"
+)
+
+// udpAdapter narrows udptransport.Transport to the Transport interface
+// (the underlying type already matches; this keeps the coupling
+// explicit and compile-checked).
+type udpAdapter struct {
+	*udptransport.Transport
+}
+
+var _ Transport = udpAdapter{}
+
+func (u udpAdapter) Send(msg *Message) bool        { return u.Transport.Send(msg) }
+func (u udpAdapter) SetReceiver(fn func(*Message)) { u.Transport.SetReceiver(fn) }
+
+// NewUDPTransport opens a broadcast-mode UDP transport on the port:
+// all peers on the same LAN segment and port form a one-hop PDS
+// neighborhood, exactly like the paper's prototype (§V).
+func NewUDPTransport(port int) (Transport, error) {
+	t, err := udptransport.New(udptransport.DefaultConfig(port))
+	if err != nil {
+		return nil, err
+	}
+	return udpAdapter{t}, nil
+}
+
+// NewLoopbackTransport opens a loopback-mode UDP transport for running
+// several nodes on one machine: the node listens on ownPort and fans
+// every frame out to peerPorts. Overhearing works exactly as on a real
+// broadcast medium — every peer sees every frame.
+func NewLoopbackTransport(ownPort int, peerPorts []int) (Transport, error) {
+	t, err := udptransport.New(udptransport.LoopbackConfig(ownPort, peerPorts))
+	if err != nil {
+		return nil, err
+	}
+	return udpAdapter{t}, nil
+}
+
+// ChanHub is an in-process broadcast hub connecting nodes without
+// sockets; useful in tests and single-process demos. Create one hub
+// and Attach each node. Delivery is asynchronous through a per-member
+// queue: a node processing a frame (under its own lock) can trigger
+// sends that loop back to it without deadlocking.
+type ChanHub struct {
+	mu      sync.Mutex
+	members []*chanMember
+}
+
+type chanMember struct {
+	hub    *ChanHub
+	inbox  chan *wire.Message
+	done   chan struct{}
+	closed sync.Once
+
+	mu   sync.Mutex
+	recv func(*wire.Message)
+}
+
+// NewChanHub returns an empty in-process broadcast hub.
+func NewChanHub() *ChanHub { return &ChanHub{} }
+
+// Attach adds a member; every frame any member sends is delivered to
+// all other members in order, each on its own pump goroutine.
+func (h *ChanHub) Attach() Transport {
+	m := &chanMember{
+		hub:   h,
+		inbox: make(chan *wire.Message, 1024),
+		done:  make(chan struct{}),
+	}
+	go m.pump()
+	h.mu.Lock()
+	h.members = append(h.members, m)
+	h.mu.Unlock()
+	return m
+}
+
+func (m *chanMember) pump() {
+	for {
+		select {
+		case msg := <-m.inbox:
+			m.mu.Lock()
+			recv := m.recv
+			m.mu.Unlock()
+			if recv != nil {
+				recv(msg)
+			}
+		case <-m.done:
+			return
+		}
+	}
+}
+
+func (m *chanMember) Send(msg *wire.Message) bool {
+	m.hub.mu.Lock()
+	members := append([]*chanMember(nil), m.hub.members...)
+	m.hub.mu.Unlock()
+	ok := true
+	for _, other := range members {
+		if other == m {
+			continue
+		}
+		select {
+		case other.inbox <- msg.Clone():
+		default:
+			ok = false // receiver overloaded: frame dropped, like a full buffer
+		}
+	}
+	return ok
+}
+
+func (m *chanMember) SetReceiver(fn func(*wire.Message)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recv = fn
+}
+
+func (m *chanMember) Close() error {
+	m.closed.Do(func() { close(m.done) })
+	m.SetReceiver(nil)
+	return nil
+}
