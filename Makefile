@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test verify fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: static checks, a full build, the whole
+# test suite, and the race detector on the packages with real
+# concurrency (UDP sockets and the node daemon).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/udptransport ./cmd/pds-node
+
+# fuzz runs short bursts of the two decode fuzzers (the codec and the
+# datagram framing above it).
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/udptransport -fuzz FuzzDecodeDatagram -fuzztime 30s

@@ -16,7 +16,9 @@ import (
 	"time"
 
 	"pds/internal/core"
+	"pds/internal/fault"
 	"pds/internal/link"
+	"pds/internal/metrics"
 	"pds/internal/mobility"
 	"pds/internal/scenario"
 	"pds/internal/wire"
@@ -44,15 +46,28 @@ func run(args []string) error {
 	singleRound := fs.Bool("single-round", false, "limit PDD to one round")
 	noAck := fs.Bool("no-ack", false, "disable per-hop ack/retransmission")
 	trace := fs.Bool("trace", false, "print every transmission (virtual time, sender, type, size)")
+	faultPlan := fs.String("fault-plan", "",
+		"fault plan, e.g. 'crash:45@30s+20s;burst@10s+60s:0.4' (see internal/fault.ParsePlan)")
+	crash := fs.String("crash", "", "crash one node: <node>@<at>[+<downtime>] (shorthand for -fault-plan crash:...)")
+	burstLoss := fs.Float64("burst-loss", 0,
+		"Gilbert–Elliott burst channel from t=0 with this bad-state loss probability")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	faultsRequested := *faultPlan != "" || *crash != "" || *burstLoss > 0
 	opts := scenario.Options{Seed: *seed}
-	if *singleRound || *noAck {
+	if *singleRound || *noAck || faultsRequested {
 		c := core.DefaultConfig()
 		if *singleRound {
 			c.MaxRounds = 1
+		}
+		if faultsRequested {
+			// Under injected faults, run with the recovery features on:
+			// retrievals degrade gracefully at the time budget instead of
+			// hanging, and dark rounds extend the discovery.
+			c.RetrievalDeadline = *deadline
+			c.ExtendRoundsOnLoss = true
 		}
 		opts.Core = c
 		if *noAck {
@@ -82,6 +97,32 @@ func run(args []string) error {
 		consumer = initial[len(initial)/2]
 	} else {
 		d = scenario.Grid(*rows, *cols, scenario.GridSpacing, opts)
+	}
+
+	// Assemble and install the fault plan. The consumer is pinned first
+	// so a plan cannot crash the measurement node out of the experiment.
+	spec := *faultPlan
+	if *crash != "" {
+		if spec != "" {
+			spec += ";"
+		}
+		spec += "crash:" + *crash
+	}
+	plan := fault.Plan{Seed: *seed}
+	if spec != "" {
+		parsed, err := fault.ParsePlan(spec)
+		if err != nil {
+			return err
+		}
+		plan.Events = parsed.Events
+	}
+	if *burstLoss > 0 {
+		plan.Events = append(plan.Events, fault.Event{Kind: fault.Burst, GE: fault.DefaultGE(*burstLoss)})
+	}
+	var inj *fault.Injector
+	if len(plan.Events) > 0 {
+		d.Pin(consumer)
+		inj = d.InstallFaults(plan)
 	}
 
 	if *trace {
@@ -135,6 +176,18 @@ func run(args []string) error {
 			float64(d.Medium.Stats().TxBytes)/1e6, time.Since(start).Round(time.Millisecond))
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if inj != nil {
+		fsStats := inj.Stats()
+		rs := d.Medium.Stats()
+		fc := metrics.FaultCounters{
+			BurstsEntered: fsStats.BurstsEntered,
+			Crashes:       fsStats.Crashes,
+			CorruptFrames: rs.CorruptFrames,
+			BlacklistHits: d.Peers[consumer].Node.Stats().BlacklistSkips,
+		}
+		fmt.Printf("faults: %s restarts=%d departures=%d burst-losses=%d dup-frames=%d\n",
+			fc, fsStats.Restarts, fsStats.Departures, fsStats.BurstLosses, rs.DupFrames)
 	}
 	return nil
 }

@@ -55,6 +55,9 @@ type session struct {
 	hopLimit int
 	// collectPayloads records payload bytes (data sessions).
 	collectPayloads bool
+	// extensions counts consecutive loss-triggered extra rounds
+	// (ExtendRoundsOnLoss); capped at 2, reset by any progress.
+	extensions int
 
 	done        bool
 	cancelCheck func()
@@ -263,9 +266,24 @@ func (s *session) check() {
 	if len(s.received) > 0 {
 		newRatio = float64(s.roundNew) / float64(len(s.received))
 	}
+	if s.roundNew > 0 {
+		s.extensions = 0
+	}
 	if newRatio > n.cfg.NewRoundRatio && s.round < s.maxRounds {
 		s.startRound()
 		return
+	}
+	// Loss-aware extension: a round that would end the session but
+	// showed loss signals — a link give-up during the round, or nothing
+	// arriving at all — may have had its responses burned by a burst;
+	// run up to two extra rounds before trusting the silence.
+	if n.cfg.ExtendRoundsOnLoss && s.extensions < 2 && s.round < s.maxRounds {
+		if total == 0 || n.lastSendFailAt >= s.roundStart {
+			s.extensions++
+			n.stats.RoundExtensions++
+			s.startRound()
+			return
+		}
 	}
 	s.finish(now)
 }

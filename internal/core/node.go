@@ -103,6 +103,20 @@ type Config struct {
 	CDIWindow time.Duration
 	// RetrievalRounds caps phase-1/phase-2 retry cycles.
 	RetrievalRounds int
+
+	// RetrievalDeadline, when positive, bounds a PDR session's wall
+	// time: at the deadline the session finishes with whatever chunks it
+	// has, enumerating the rest in RetrievalResult.Missing — graceful
+	// degradation instead of an open-ended hang under partition or
+	// producer departure. Zero disables the deadline.
+	RetrievalDeadline time.Duration
+	// ExtendRoundsOnLoss lets a discovery session run up to two extra
+	// rounds past its normal stop when the round showed loss signals (a
+	// link-layer give-up during the round, or no arrivals at all): under
+	// burst loss a "finished" round may simply have had its responses
+	// burned. Off by default — extra dark rounds would skew the paper's
+	// round-count figures under clean channels.
+	ExtendRoundsOnLoss bool
 }
 
 // DefaultConfig returns the paper's operating point: T = 1 s,
@@ -152,6 +166,12 @@ type Stats struct {
 	PayloadsCached     uint64
 	EntriesPruned      uint64 // entries suppressed by Bloom/mixedcast pruning
 	SubQueriesSent     uint64 // PDR recursive divisions
+
+	SendFailures       uint64 // link-layer give-ups reported to this node
+	BlacklistSkips     uint64 // chunk-routing options skipped: neighbor blacklisted
+	NeighborsDead      uint64 // neighbors declared dead (all CDI routes dropped)
+	ChunkDupDeliveries uint64 // chunk payloads delivered more than once
+	RoundExtensions    uint64 // discovery rounds added by loss detection
 }
 
 // Node is one PDS protocol endpoint.
@@ -174,9 +194,20 @@ type Node struct {
 	discSessions []*session
 	// retrievals maps item keys to active PDR sessions.
 	retrievals map[string]*retrieval
+	// health remembers per-neighbor delivery failures (blacklisting).
+	health *healthTracker
+	// lastSendFailAt timestamps the most recent link give-up, the loss
+	// signal ExtendRoundsOnLoss reads.
+	lastSendFailAt time.Duration
 
 	stats   Stats
 	stopped bool
+	// crashed marks a powered-off node: it neither sends nor processes.
+	crashed bool
+	// epoch increments on every crash, invalidating timer closures armed
+	// before it — a jittered send scheduled pre-crash must not fire into
+	// the restarted node's fresh state.
+	epoch uint64
 }
 
 // NewNode creates a protocol node. rng must be dedicated to this node
@@ -195,6 +226,7 @@ func NewNode(id wire.NodeID, clk clock.Clock, rng *rand.Rand, send Sender, cfg C
 		lqt:        store.NewLQT(),
 		rr:         store.NewRecentResponses(cfg.RecentRespRetention),
 		retrievals: make(map[string]*retrieval),
+		health:     newHealthTracker(),
 	}
 	n.ds.SetCachePolicy(cfg.CachePolicy)
 	n.scheduleHousekeeping()
@@ -223,12 +255,62 @@ func SetDebugPrune(fn func(*Node, *wire.Response, attr.Descriptor)) { debugPrune
 // schedules no further timers of its own.
 func (n *Node) Stop() { n.stopped = true }
 
-func (n *Node) scheduleHousekeeping() {
-	if n.stopped {
+// Crash powers the node off mid-protocol: it stops sending and
+// processing, aborts every active session without callbacks, and wipes
+// all volatile state — cached entries and payloads (partial chunk
+// buffers included), the CDI table, the LQT, the recent-response cache
+// and the neighbor-health records. Owned data survives, as it would on
+// a device's persistent storage. Timer closures armed before the crash
+// are invalidated by an epoch bump.
+func (n *Node) Crash() {
+	if n.crashed {
 		return
 	}
+	n.crashed = true
+	n.epoch++
+	for _, r := range n.retrievals {
+		r.done = true
+		if r.cancelCheck != nil {
+			r.cancelCheck()
+		}
+	}
+	n.retrievals = make(map[string]*retrieval)
+	for _, s := range n.discSessions {
+		s.done = true
+		if s.cancelCheck != nil {
+			s.cancelCheck()
+		}
+	}
+	n.discSessions = nil
+	n.servePending = nil
+	n.ds.WipeCached()
+	n.cdi = store.NewCDITable()
+	n.lqt = store.NewLQT()
+	n.rr = store.NewRecentResponses(n.cfg.RecentRespRetention)
+	n.health.reset()
+}
+
+// Restart powers a crashed node back on with only its owned data. The
+// caller (the deployment) must also reset the link layer and re-attach
+// the radio.
+func (n *Node) Restart() {
+	if !n.crashed {
+		return
+	}
+	n.crashed = false
+	n.scheduleHousekeeping()
+}
+
+// Crashed reports whether the node is currently powered off.
+func (n *Node) Crashed() bool { return n.crashed }
+
+func (n *Node) scheduleHousekeeping() {
+	if n.stopped || n.crashed {
+		return
+	}
+	epoch := n.epoch
 	n.clk.Schedule(time.Second, func() {
-		if n.stopped {
+		if n.stopped || n.crashed || n.epoch != epoch {
 			return
 		}
 		now := n.clk.Now()
@@ -284,8 +366,18 @@ func (n *Node) PublishItem(item attr.Descriptor, payload []byte, chunkSize int) 
 // Unpublish removes an owned item or chunk (producer deleting data).
 func (n *Node) Unpublish(d attr.Descriptor) { n.ds.DeleteOwned(d) }
 
+// HasChunk reports whether the node's store holds the payload of the
+// item's chunk (owned or cached). Scenario code uses it to locate
+// producers when scripting faults.
+func (n *Node) HasChunk(item attr.Descriptor, chunkID int) bool {
+	return n.ds.HasPayload(item.WithChunk(chunkID))
+}
+
 // HandleMessage processes a frame that passed link-layer dedup.
 func (n *Node) HandleMessage(msg *wire.Message) {
+	if n.crashed {
+		return
+	}
 	switch msg.Type {
 	case wire.TypeQuery:
 		if msg.Query != nil {
@@ -298,23 +390,30 @@ func (n *Node) HandleMessage(msg *wire.Message) {
 	}
 }
 
-// transmit hands a message to the sender unless the node is stopped.
+// transmit hands a message to the sender unless the node is stopped or
+// crashed.
 func (n *Node) transmit(msg *wire.Message) {
-	if !n.stopped {
+	if !n.stopped && !n.crashed {
 		n.send(msg)
 	}
 }
 
 // sendJittered transmits msg after a uniform random delay in
 // [0, maxJitter), desynchronizing the bursts that one broadcast
-// reception triggers at many nodes at the same instant.
+// reception triggers at many nodes at the same instant. The delayed
+// send is dropped if the node crashes before it fires.
 func (n *Node) sendJittered(msg *wire.Message, maxJitter time.Duration) {
 	if maxJitter <= 0 {
 		n.transmit(msg)
 		return
 	}
 	delay := time.Duration(n.rng.Int63n(int64(maxJitter)))
-	n.clk.Schedule(delay, func() { n.transmit(msg) })
+	epoch := n.epoch
+	n.clk.Schedule(delay, func() {
+		if n.epoch == epoch {
+			n.transmit(msg)
+		}
+	})
 }
 
 // newID draws a random, effectively unique id for queries/responses.

@@ -14,6 +14,7 @@ import (
 // forwarding.
 func (n *Node) handleQuery(q *wire.Query) {
 	n.stats.QueriesReceived++
+	n.health.recordSuccess(q.Sender)
 	if q.Kind == wire.KindChunk {
 		n.handleChunkQuery(q)
 		return
@@ -84,7 +85,11 @@ func (n *Node) scheduleServe(kind wire.QueryKind) {
 	if n.cfg.ResponseJitterMax > 0 {
 		delay = time.Duration(n.rng.Int63n(int64(n.cfg.ResponseJitterMax)))
 	}
+	epoch := n.epoch
 	n.clk.Schedule(delay, func() {
+		if n.epoch != epoch {
+			return // node crashed since; servePending was wiped
+		}
 		n.servePending[kind] = false
 		if !n.stopped {
 			n.serveQueries(kind)
@@ -283,6 +288,8 @@ func (n *Node) sendBlobResponses(kind wire.QueryKind, item attr.Descriptor, blob
 func (n *Node) handleResponse(r *wire.Response) {
 	n.stats.ResponsesReceived++
 	now := n.clk.Now()
+	// Hearing from a neighbor clears its failure record: the link works.
+	n.health.recordSuccess(r.Sender)
 
 	// RR Lookup: drop redundant copies (e.g. the same response heard
 	// from several relaying neighbors).
@@ -360,6 +367,12 @@ func (n *Node) cacheResponse(r *wire.Response, now time.Duration) {
 		}
 	case wire.KindChunk:
 		for _, b := range r.Blobs {
+			if n.ds.HasPayload(b.Desc) {
+				// Already held: a retransmission or a second route raced
+				// the first copy. Counted so chaos tests can bound
+				// duplicate delivery; stores below are idempotent.
+				n.stats.ChunkDupDeliveries++
+			}
 			if _, mine := n.retrievals[b.Desc.ItemDescriptor().Key()]; mine {
 				// Chunks of an item this node is actively retrieving are
 				// the retrieval's output, not opportunistic cache.

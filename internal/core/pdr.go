@@ -17,6 +17,13 @@ type RetrievalResult struct {
 	Chunks map[int][]byte
 	// Complete reports whether all TotalChunks chunks were retrieved.
 	Complete bool
+	// Missing enumerates the chunk ids not retrieved, sorted — the
+	// graceful-degradation contract: a partial result names exactly what
+	// a later retry must fetch. Empty when Complete.
+	Missing []int
+	// Deadline reports that the session was cut off by
+	// Config.RetrievalDeadline rather than finishing on its own.
+	Deadline bool
 	// CDILatency is the duration of phase 1 (zero for MDR).
 	CDILatency time.Duration
 	// Latency is the time from the session start to the arrival of the
@@ -74,8 +81,10 @@ type retrieval struct {
 	// a few typical service times, not a fixed worst case.
 	chunkEWMA time.Duration
 
-	done        bool
-	cancelCheck func()
+	done           bool
+	deadlineHit    bool
+	cancelCheck    func()
+	cancelDeadline func()
 }
 
 // Retrieve starts a PDR session for the item (whose descriptor must
@@ -114,6 +123,15 @@ func (n *Node) RetrieveWithProgress(item attr.Descriptor, progress func(done, to
 	if r.complete() {
 		r.finish(n.clk.Now())
 		return
+	}
+	if d := n.cfg.RetrievalDeadline; d > 0 {
+		epoch := n.epoch
+		r.cancelDeadline = n.clk.Schedule(d, func() {
+			if !r.done && n.epoch == epoch {
+				r.deadlineHit = true
+				r.finish(n.clk.Now())
+			}
+		})
 	}
 	r.startCDIRound()
 	r.scheduleCheck()
@@ -318,6 +336,9 @@ func (r *retrieval) finish(now time.Duration) {
 	if r.cancelCheck != nil {
 		r.cancelCheck()
 	}
+	if r.cancelDeadline != nil {
+		r.cancelDeadline()
+	}
 	if n := r.n; n.retrievals[r.itemKey] == r {
 		delete(n.retrievals, r.itemKey)
 	}
@@ -329,6 +350,12 @@ func (r *retrieval) finish(now time.Duration) {
 			}
 		}
 	}
+	var missing []int
+	for c := 0; c < r.total; c++ {
+		if _, ok := chunks[c]; !ok {
+			missing = append(missing, c)
+		}
+	}
 	cdiLat := time.Duration(0)
 	if r.phase2Start > 0 {
 		cdiLat = r.phase2Start - r.start
@@ -336,7 +363,9 @@ func (r *retrieval) finish(now time.Duration) {
 	res := RetrievalResult{
 		Item:       r.item,
 		Chunks:     chunks,
-		Complete:   len(chunks) == r.total,
+		Complete:   len(missing) == 0,
+		Missing:    missing,
+		Deadline:   r.deadlineHit,
 		CDILatency: cdiLat,
 		Latency:    r.lastChunkAt - r.start,
 		Duration:   now - r.start,
@@ -478,12 +507,21 @@ func (n *Node) sendChunkQueries(item attr.Descriptor, chunks []int, origin wire.
 	itemKey := item.Key()
 	req := assign.Request{Chunks: chunks, Options: make([][]assign.Option, len(chunks))}
 	for i, c := range chunks {
-		for _, e := range n.cdi.Lookup(itemKey, c, now) {
+		options := n.cdi.Lookup(itemKey, c, now)
+		var usable []assign.Option
+		blocked := 0
+		for _, e := range options {
 			if e.Neighbor == exclude || e.Neighbor == n.id {
 				continue
 			}
-			req.Options[i] = append(req.Options[i], assign.Option{Neighbor: e.Neighbor, Hop: e.HopCount})
+			if n.health.blocked(e.Neighbor, now) {
+				blocked++
+				continue
+			}
+			usable = append(usable, assign.Option{Neighbor: e.Neighbor, Hop: e.HopCount})
 		}
+		n.stats.BlacklistSkips += uint64(blocked)
+		req.Options[i] = usable
 	}
 	var res assign.Result
 	if n.cfg.LoadBalanceEnabled {
@@ -634,12 +672,30 @@ func (n *Node) relayChunks(r *wire.Response, now time.Duration) {
 }
 
 // OnSendFailure lets the deployment report per-hop delivery give-ups
-// (link layer exhausting retransmissions). For directed chunk queries,
-// the route via the unreachable neighbor is dropped so the next attempt
-// re-balances around it; a consumer's own failed request additionally
+// (link layer exhausting retransmissions), for every message kind. Each
+// unacked neighbor takes a health-tracker strike: the first blacklists
+// it with exponential backoff so the next route computation avoids it,
+// and the second declares it dead, invalidating every CDI entry through
+// it across all items. (The pre-tracker behavior — dropping only the
+// failed item's routes — had no memory: the next stale CDI response
+// re-installed the dead neighbor and the retrieval re-selected it
+// indefinitely.) For directed chunk queries the failed item's routes
+// are additionally dropped at once, and a consumer's own failed request
 // frees the affected chunks' window slots immediately instead of
 // waiting out the retry timer.
 func (n *Node) OnSendFailure(msg *wire.Message, unacked []wire.NodeID) {
+	if n.crashed {
+		return
+	}
+	now := n.clk.Now()
+	n.stats.SendFailures++
+	n.lastSendFailAt = now
+	for _, nb := range unacked {
+		if n.health.recordFailure(nb, now) == deadThreshold {
+			n.stats.NeighborsDead++
+			n.cdi.DropNeighborAll(nb)
+		}
+	}
 	if msg.Type != wire.TypeQuery || msg.Query == nil || msg.Query.Kind != wire.KindChunk {
 		return
 	}
@@ -653,7 +709,7 @@ func (n *Node) OnSendFailure(msg *wire.Message, unacked []wire.NodeID) {
 			for _, c := range q.ChunkIDs {
 				delete(r.requestedAt, c)
 			}
-			r.topUp(n.clk.Now())
+			r.topUp(now)
 		}
 	}
 }

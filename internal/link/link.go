@@ -635,6 +635,34 @@ func (l *Link) reassemble(f *wire.Fragment, now time.Duration) *wire.Message {
 	return decoded
 }
 
+// Reset wipes all volatile link state — pacing queue, in-flight ARQ
+// entries (their retry timers cancelled), fragment jobs, reassembly
+// buffers and the dedup window — as when the node's radio powers off.
+// The leaky bucket refills; the TransmitID counter keeps advancing so
+// post-restart frames never collide with pre-crash ones still cached in
+// neighbors' dedup windows.
+func (l *Link) Reset() {
+	for id, p := range l.pend {
+		if p.cancel != nil {
+			p.cancel()
+		}
+		delete(l.pend, id)
+	}
+	l.queue = nil
+	l.fragJobs = nil
+	l.activeJob = nil
+	l.seen = make(map[uint64]time.Duration)
+	l.reasms = make(map[uint64]*reasm)
+	l.tokens = float64(l.cfg.BucketBytes)
+	l.lastRefill = l.clk.Now()
+	// drainArmed stays as-is: a pending drain callback finds an empty
+	// queue and exits harmlessly.
+}
+
+// SetRawSender swaps the raw sender, used when a crashed node re-attaches
+// to the medium with a fresh radio.
+func (l *Link) SetRawSender(raw RawSender) { l.raw = raw }
+
 // QueuedBytes reports bytes waiting in the pacing queue (for tests).
 func (l *Link) QueuedBytes() int {
 	n := 0

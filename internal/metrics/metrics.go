@@ -23,6 +23,35 @@ type Sample struct {
 	OverheadBytes uint64
 	// Rounds is the number of discovery/retrieval rounds used.
 	Rounds float64
+	// Faults counts the fault events injected into the run (zero for
+	// fault-free experiments).
+	Faults FaultCounters
+}
+
+// FaultCounters summarizes injected faults and the recovery machinery's
+// reaction, appended to result rows of fault-plan runs.
+type FaultCounters struct {
+	// BurstsEntered counts Gilbert–Elliott transitions into the bad
+	// (bursty-loss) channel state.
+	BurstsEntered uint64
+	// Crashes counts node crash events.
+	Crashes uint64
+	// CorruptFrames counts frames delivered damaged and discarded.
+	CorruptFrames uint64
+	// BlacklistHits counts routing decisions that skipped a blacklisted
+	// neighbor.
+	BlacklistHits uint64
+}
+
+// Any reports whether any fault was injected or reacted to.
+func (f FaultCounters) Any() bool {
+	return f.BurstsEntered > 0 || f.Crashes > 0 || f.CorruptFrames > 0 || f.BlacklistHits > 0
+}
+
+// String renders the counters as a compact row suffix.
+func (f FaultCounters) String() string {
+	return fmt.Sprintf("bursts=%d crashes=%d corrupt=%d blacklisted=%d",
+		f.BurstsEntered, f.Crashes, f.CorruptFrames, f.BlacklistHits)
 }
 
 // Mean averages the samples (zero value for an empty slice).

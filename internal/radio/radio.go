@@ -124,6 +124,32 @@ type Stats struct {
 	Collisions    uint64
 	RandomLosses  uint64
 	BufferDrops   uint64
+	CorruptFrames uint64 // channel-model corruptions (discarded by MAC CRC)
+	DupFrames     uint64 // channel-model duplicate deliveries
+}
+
+// FrameFate is a ChannelModel's verdict on one frame delivery.
+type FrameFate int
+
+// Frame fates.
+const (
+	// FateDeliver hands the frame to the receiver normally.
+	FateDeliver FrameFate = iota
+	// FateLost drops the frame (fading/noise/burst loss).
+	FateLost
+	// FateCorrupt delivers a damaged frame; the MAC CRC discards it at
+	// the receiver, so upper layers see a silent loss, never garbage.
+	FateCorrupt
+	// FateDuplicate delivers the frame twice, exercising dedup paths.
+	FateDuplicate
+)
+
+// ChannelModel decides per-receiver frame fates, replacing the smooth
+// i.i.d. BaseLoss draw when installed on a Medium. Fate is called once
+// per surviving (non-collided) frame delivery, in deterministic sorted
+// receiver order, so a seeded model reproduces exactly.
+type ChannelModel interface {
+	Fate(from, to wire.NodeID, now time.Duration) FrameFate
 }
 
 type queuedFrame struct {
@@ -177,6 +203,10 @@ type Medium struct {
 	OnTransmit func(from wire.NodeID, msg *wire.Message, size int)
 	// OnDeliver, when set, observes every successful delivery (tracing).
 	OnDeliver func(from, to wire.NodeID, msg *wire.Message)
+	// Channel, when set, replaces the BaseLoss draw with a per-delivery
+	// fate decision (burst loss, corruption, duplication). Package fault
+	// provides a seeded implementation.
+	Channel ChannelModel
 }
 
 // NewMedium creates a medium on the engine.
@@ -499,17 +529,34 @@ func (m *Medium) finishTransmission(rec txRecord, msg *wire.Message) {
 				m.stats.Collisions++
 				continue
 			}
-			if m.cfg.BaseLoss > 0 && m.eng.Rand().Float64() < m.cfg.BaseLoss {
+			copies := 1
+			if m.Channel != nil {
+				switch m.Channel.Fate(rec.from, id, m.eng.Now()) {
+				case FateLost:
+					m.stats.RandomLosses++
+					continue
+				case FateCorrupt:
+					// The MAC CRC rejects the damaged frame at the
+					// receiver; upper layers never see it.
+					m.stats.CorruptFrames++
+					continue
+				case FateDuplicate:
+					m.stats.DupFrames++
+					copies = 2
+				}
+			} else if m.cfg.BaseLoss > 0 && m.eng.Rand().Float64() < m.cfg.BaseLoss {
 				m.stats.RandomLosses++
 				continue
 			}
-			rx.Received++
-			m.stats.Delivered++
-			if m.OnDeliver != nil {
-				m.OnDeliver(rec.from, id, msg)
-			}
-			if rx.deliver != nil {
-				rx.deliver(msg.Clone())
+			for c := 0; c < copies; c++ {
+				rx.Received++
+				m.stats.Delivered++
+				if m.OnDeliver != nil {
+					m.OnDeliver(rec.from, id, msg)
+				}
+				if rx.deliver != nil {
+					rx.deliver(msg.Clone())
+				}
 			}
 		}
 	}

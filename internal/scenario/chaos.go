@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"pds/internal/core"
+	"pds/internal/fault"
+	"pds/internal/metrics"
+	"pds/internal/wire"
+)
+
+// ChaosReport is the outcome of one chaos scenario: the protocol-level
+// result plus every counter a soak test asserts on, and a deterministic
+// metric row — two runs with the same seed must produce byte-identical
+// rows.
+type ChaosReport struct {
+	// Retrieval is set by PDR scenarios, Discovery by PDD scenarios.
+	Retrieval core.RetrievalResult
+	Discovery core.DiscoveryResult
+	// Done reports that the consumer callback fired before the run
+	// deadline (the no-hang invariant).
+	Done bool
+	// Recall is delivered fraction: chunks for PDR, entries for PDD.
+	Recall float64
+	// Faults snapshots the injector counters.
+	Faults fault.Stats
+	// Consumer snapshots the consumer node's protocol counters.
+	Consumer core.Stats
+	// Sample is the run reduced to the standard metrics row.
+	Sample metrics.Sample
+	// Row is the deterministic one-line summary.
+	Row string
+}
+
+// chaosConfig returns the core config chaos scenarios run under:
+// recovery features on (retrieval deadline, loss-aware round
+// extension), everything else at the paper defaults.
+func chaosConfig(retrievalDeadline time.Duration) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.RetrievalDeadline = retrievalDeadline
+	cfg.ExtendRoundsOnLoss = true
+	return cfg
+}
+
+// report reduces a finished chaos run to a ChaosReport.
+func (d *Deployment) report(in *fault.Injector, consumer wire.NodeID, kind string, recall float64, latency time.Duration, rounds int, done bool, detail string) ChaosReport {
+	fs := in.Stats()
+	cs := d.Peers[consumer].Node.Stats()
+	rs := d.Medium.Stats()
+	sample := metrics.Sample{
+		Recall:        recall,
+		Latency:       latency,
+		OverheadBytes: rs.TxBytes,
+		Rounds:        float64(rounds),
+		Faults: metrics.FaultCounters{
+			BurstsEntered: fs.BurstsEntered,
+			Crashes:       fs.Crashes,
+			CorruptFrames: rs.CorruptFrames,
+			BlacklistHits: cs.BlacklistSkips,
+		},
+	}
+	row := fmt.Sprintf("%s seed=%d recall=%.4f latency=%s overhead=%s rounds=%d done=%v %s %s",
+		kind, d.seed, recall, metrics.Seconds(latency), metrics.MB(rs.TxBytes), rounds, done,
+		sample.Faults.String(), detail)
+	return ChaosReport{
+		Done:     done,
+		Recall:   recall,
+		Faults:   fs,
+		Consumer: cs,
+		Sample:   sample,
+		Row:      row,
+	}
+}
+
+// CrashTheHub is the headline chaos scenario: a PDR retrieval of
+// itemBytes on the paper's grid while (a) a Gilbert–Elliott burst
+// channel with p_bad = 0.35 replaces the smooth base loss and (b) the
+// consumer's east neighbor — a first-hop relay almost every chunk
+// stream crosses — crashes mid-retrieval, losing all volatile state,
+// and restarts 30 virtual seconds later. Chunks are placed with
+// redundancy 2 so the data survives the crash; the recovery question is
+// whether routing does. The retrieval must either complete or return an
+// enumerated partial result by its deadline — never hang.
+func CrashTheHub(seed int64, itemBytes int) ChaosReport {
+	const deadline = 8 * time.Minute
+	d := Grid(10, 10, GridSpacing, Options{Seed: seed, Core: chaosConfig(deadline)})
+	consumer := CenterID(10, 10)
+	d.Pin(consumer)
+	hub := consumer + 1 // east neighbor: on the shortest path of ~half the grid
+
+	in := d.InstallFaults(fault.Plan{Seed: seed, Events: []fault.Event{
+		{At: 2 * time.Second, Kind: fault.Burst, GE: fault.DefaultGE(0.35)},
+		{At: 20 * time.Second, Kind: fault.Crash, Node: hub, Downtime: 30 * time.Second},
+	}})
+
+	item := ItemDescriptor("video", itemBytes, DefaultChunkSize)
+	item = d.DistributeChunks(item, DefaultChunkSize, 2, consumer)
+	res, done := d.RunRetrieval(consumer, item, deadline+time.Minute)
+
+	total := item.TotalChunks()
+	recall := float64(len(res.Chunks)) / float64(total)
+	rep := d.report(in, consumer, "crash-the-hub", recall, res.Latency, res.Rounds, done,
+		fmt.Sprintf("chunks=%d/%d missing=%v deadline=%v", len(res.Chunks), total, res.Missing, res.Deadline))
+	rep.Retrieval = res
+	return rep
+}
+
+// FlashCrowdChurn models a flash crowd hitting a suddenly unstable
+// network: entries are gossiped, then four consumers in the grid core
+// discover simultaneously while three relay nodes crash at staggered
+// times (two restart, one stays down). The report carries the mean
+// recall over the crowd; the last consumer's discovery result is
+// returned as Discovery.
+func FlashCrowdChurn(seed int64, entries int) ChaosReport {
+	const deadline = 4 * time.Minute
+	d := Grid(8, 8, GridSpacing, Options{Seed: seed, Core: chaosConfig(0)})
+	d.DistributeEntries(entries, 2)
+
+	center := CenterID(8, 8)
+	consumers := []wire.NodeID{center, center + 1, center - 8, center + 9}
+	for _, c := range consumers {
+		d.Pin(c)
+	}
+	in := d.InstallFaults(fault.Plan{Seed: seed, Events: []fault.Event{
+		{At: 1 * time.Second, Kind: fault.Crash, Node: center - 1, Downtime: 20 * time.Second},
+		{At: 2 * time.Second, Kind: fault.Crash, Node: center + 8, Downtime: 15 * time.Second},
+		{At: 3 * time.Second, Kind: fault.Crash, Node: center - 9}, // never returns
+	}})
+
+	results := make([]core.DiscoveryResult, len(consumers))
+	finished := 0
+	for i, c := range consumers {
+		i := i
+		d.Peers[c].Node.Discover(EntrySelector(), core.DiscoverOptions{}, func(r core.DiscoveryResult) {
+			results[i] = r
+			finished++
+		})
+	}
+	d.Eng.RunUntil(deadline, func() bool { return finished == len(consumers) })
+	done := finished == len(consumers)
+	// Let the scheduled restarts fire before snapshotting fault stats —
+	// the crowd often finishes before the churned nodes come back.
+	d.Eng.Run(d.Eng.Now() + 30*time.Second)
+
+	sum := 0.0
+	rounds := 0
+	var latency time.Duration
+	for _, r := range results {
+		sum += float64(len(r.Entries)) / float64(entries)
+		rounds += r.Rounds
+		if r.Latency > latency {
+			latency = r.Latency
+		}
+	}
+	recall := sum / float64(len(consumers))
+	rep := d.report(in, center, "flash-crowd-churn", recall, latency, rounds, done,
+		fmt.Sprintf("consumers=%d entries=%d", len(consumers), entries))
+	rep.Discovery = results[len(results)-1]
+	return rep
+}
+
+// CorruptTenPercent runs a PDD discovery while 10% of all delivered
+// frames arrive damaged (and are discarded by the MAC CRC) and another
+// 2% arrive twice, exercising loss recovery and every dedup layer at
+// once.
+func CorruptTenPercent(seed int64, entries int) ChaosReport {
+	const deadline = 4 * time.Minute
+	d := Grid(8, 8, GridSpacing, Options{Seed: seed, Core: chaosConfig(0)})
+	d.DistributeEntries(entries, 1)
+	consumer := CenterID(8, 8)
+	in := d.InstallFaults(fault.Plan{Seed: seed, Events: []fault.Event{
+		{At: 0, Kind: fault.Corrupt, Rate: 0.10},
+		{At: 0, Kind: fault.Duplicate, Rate: 0.02},
+	}})
+
+	res, done := d.RunDiscovery(consumer, EntrySelector(), core.DiscoverOptions{}, deadline)
+	recall := float64(len(res.Entries)) / float64(entries)
+	rep := d.report(in, consumer, "corrupt-10pct", recall, res.Latency, res.Rounds, done,
+		fmt.Sprintf("entries=%d/%d", len(res.Entries), entries))
+	rep.Discovery = res
+	return rep
+}

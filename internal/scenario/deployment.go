@@ -12,6 +12,7 @@ import (
 
 	"pds/internal/attr"
 	"pds/internal/core"
+	"pds/internal/fault"
 	"pds/internal/link"
 	"pds/internal/mobility"
 	"pds/internal/radio"
@@ -58,6 +59,11 @@ type Peer struct {
 	Node  *core.Node
 	Link  *link.Link
 	Radio *radio.Radio
+	// Down marks a crashed (powered-off) peer awaiting restart.
+	Down bool
+	// lastPos remembers where the device was when it crashed, so a
+	// restart re-attaches it in place.
+	lastPos radio.Pos
 }
 
 // Deployment is a simulated PDS network.
@@ -123,6 +129,71 @@ func (d *Deployment) RemovePeer(id wire.NodeID) {
 		d.Medium.Detach(id)
 		delete(d.Peers, id)
 	}
+}
+
+// CrashPeer powers a node off in place: its radio detaches (in-flight
+// frames toward it are lost), its link layer cancels all ARQ state and
+// its protocol engine wipes everything volatile. The peer stays in the
+// deployment, marked Down, until RestartPeer. Pinned peers (the
+// measurement consumer) cannot crash.
+func (d *Deployment) CrashPeer(id wire.NodeID) {
+	p, ok := d.Peers[id]
+	if !ok || p.Down || d.pinned[id] {
+		return
+	}
+	p.Down = true
+	if pos, ok := d.Medium.Position(id); ok {
+		p.lastPos = pos
+	}
+	d.Medium.Detach(id)
+	p.Node.Crash()
+	p.Link.Reset()
+}
+
+// RestartPeer powers a crashed peer back on at its crash position with
+// a fresh radio; only owned data survived in its store.
+func (d *Deployment) RestartPeer(id wire.NodeID) {
+	p, ok := d.Peers[id]
+	if !ok || !p.Down {
+		return
+	}
+	p.Down = false
+	p.Radio = d.Medium.Attach(id, p.lastPos, func(msg *wire.Message) {
+		if up := p.Link.HandleIncoming(msg); up != nil {
+			p.Node.HandleMessage(up)
+		}
+	})
+	p.Radio.OnTransmitted = p.Link.NotifyTransmitted
+	p.Link.SetRawSender(p.Radio.Send)
+	p.Node.Restart()
+}
+
+// Crash implements fault.Target.
+func (d *Deployment) Crash(id wire.NodeID) { d.CrashPeer(id) }
+
+// Restart implements fault.Target.
+func (d *Deployment) Restart(id wire.NodeID) { d.RestartPeer(id) }
+
+// Depart implements fault.Target: a permanent leave (producer walking
+// away mid-retrieval).
+func (d *Deployment) Depart(id wire.NodeID) { d.RemovePeer(id) }
+
+// InstallFaults wires a fault plan into the deployment: the injector
+// takes over the medium's loss channel (preserving the configured
+// ambient BaseLoss outside burst windows) and schedules the plan's node
+// faults against this deployment. The injector's own randomness is
+// seeded from the plan (falling back to the deployment seed), so
+// identical plans on identical deployments reproduce exactly.
+func (d *Deployment) InstallFaults(p fault.Plan) *fault.Injector {
+	seed := p.Seed
+	if seed == 0 {
+		seed = d.seed
+	}
+	in := fault.NewInjector(d.Eng, seed, d)
+	in.SetBaseLoss(d.opts.Radio.BaseLoss)
+	d.Medium.Channel = in
+	in.Install(p)
+	return in
 }
 
 // Grid builds a rows×cols deployment with the given spacing (§VI-A:

@@ -142,6 +142,34 @@ func (t *CDITable) DropNeighbor(itemKey string, neighbor wire.NodeID) {
 	}
 }
 
+// DropNeighborAll removes every entry via the given neighbor across all
+// items — the neighbor has been declared dead by the health tracker and
+// no chunk should be routed through it. It returns the number removed.
+func (t *CDITable) DropNeighborAll(neighbor wire.NodeID) int {
+	n := 0
+	for itemKey, chunks := range t.items {
+		for cid, entries := range chunks {
+			kept := entries[:0]
+			for _, e := range entries {
+				if e.Neighbor != neighbor {
+					kept = append(kept, e)
+				} else {
+					n++
+				}
+			}
+			if len(kept) == 0 {
+				delete(chunks, cid)
+			} else {
+				chunks[cid] = kept
+			}
+		}
+		if len(chunks) == 0 {
+			delete(t.items, itemKey)
+		}
+	}
+	return n
+}
+
 // Expire removes expired entries; obsolete CDI does not live forever
 // (§IV-A). It returns the number removed.
 func (t *CDITable) Expire(now time.Duration) int {

@@ -272,6 +272,33 @@ func (s *DataStore) DeleteOwned(d attr.Descriptor) {
 	s.unindexChunk(d)
 }
 
+// WipeCached drops everything volatile — cached entries, cached
+// payloads and partial chunk buffers — keeping only owned data, as when
+// a node crashes and restarts with just its persisted store.
+func (s *DataStore) WipeCached() {
+	for k := range s.entries {
+		if !s.entries[k].Owned {
+			delete(s.entries, k)
+		}
+	}
+	for k := range s.payloads {
+		if !s.ownedKeys[k] {
+			delete(s.payloads, k)
+		}
+	}
+	s.cachedBytes = 0
+	s.cacheOrder = nil
+	s.lastAccess = nil
+	s.accessCount = nil
+	// Rebuild the chunk index from the surviving (owned) payloads.
+	s.chunkIndex = make(map[string]map[int]string)
+	for k := range s.payloads {
+		if e, ok := s.entries[k]; ok {
+			s.indexChunk(e.Desc, k)
+		}
+	}
+}
+
 // Expire removes entries whose expiry has passed and whose payload is
 // absent (§II-C: "upon expiration, the node removes the entry if it does
 // not yet have the payload"). It returns the number removed.

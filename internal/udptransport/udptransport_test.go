@@ -185,18 +185,24 @@ func TestBadConfig(t *testing.T) {
 func TestDecodeErrorCounted(t *testing.T) {
 	a, b := newPair(t, 19809, 19810)
 	b.SetReceiver(func(*wire.Message) {})
-	// Send garbage straight through a's socket to b.
 	conn := a.conn
 	dst := a.dests[0]
+	// Raw garbage fails the CRC framing check.
 	if _, err := conn.WriteToUDP([]byte{0xde, 0xad, 0xbe, 0xef}, dst); err != nil {
+		t.Fatal(err)
+	}
+	// A correctly framed datagram whose payload is not a valid message
+	// passes the CRC but fails the codec.
+	if _, err := conn.WriteToUDP(encodeDatagram([]byte{0xde, 0xad, 0xbe, 0xef}), dst); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {
-		if b.Stats().DecodeErrors > 0 {
+		s := b.Stats()
+		if s.ChecksumErrors > 0 && s.DecodeErrors > 0 {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	t.Fatal("decode error not counted")
+	t.Fatalf("errors not counted: %+v", b.Stats())
 }
