@@ -9,13 +9,14 @@ test:
 	$(GO) test ./...
 
 # verify is the pre-merge gate: static checks, a full build, the whole
-# test suite, and the race detector on the packages with real
-# concurrency (UDP sockets and the node daemon).
+# test suite, and the race detector across every package — shared
+# immutable messages and parallel sweep runs mean concurrency is no
+# longer confined to the socket code.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/udptransport ./cmd/pds-node
+	$(GO) test -race ./...
 
 # fuzz runs short bursts of the two decode fuzzers (the codec and the
 # datagram framing above it).

@@ -4,20 +4,26 @@
 //
 // Usage:
 //
-//	pds-bench [-seed N] [-runs N] [-size MB] <figure>
+//	pds-bench [-seed N] [-runs N] [-size MB] [-json] <figure>
 //
 // where <figure> is one of: fig3, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig9class, fig11, fig12, fig12class, fig13, fig15, fig16, saturation,
 // leaky, ack, ablation, balance, cache, all.
+//
+// With -json, machine-readable results — every metric row plus wall
+// time and allocation counters per figure — are also written to
+// BENCH_PDS.json, so runs can be diffed and tracked by tooling.
 //
 // Absolute numbers come from this repository's radio model, not the
 // authors' testbed; EXPERIMENTS.md records how the shapes compare.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -33,11 +39,119 @@ func main() {
 	}
 }
 
+// jsonFile is where -json results land.
+const jsonFile = "BENCH_PDS.json"
+
+// figure is one regenerable figure or table: run produces the series,
+// tables optionally lists metrics.Table views to print instead of the
+// default one-table-per-series rendering.
+type figure struct {
+	name   string
+	desc   string
+	run    func() []*metrics.Series
+	tables []string
+}
+
+// jsonPoint is one metric row of a series in machine-readable form.
+type jsonPoint struct {
+	X             float64                `json:"x"`
+	Label         string                 `json:"label"`
+	Recall        float64                `json:"recall"`
+	LatencySec    float64                `json:"latency_s"`
+	OverheadBytes uint64                 `json:"overhead_bytes"`
+	Rounds        float64                `json:"rounds,omitempty"`
+	Faults        *metrics.FaultCounters `json:"faults,omitempty"`
+}
+
+// jsonSeries is one figure line.
+type jsonSeries struct {
+	Name   string      `json:"name"`
+	Points []jsonPoint `json:"points"`
+}
+
+// jsonFigure is one figure run: its metric rows plus cost counters.
+type jsonFigure struct {
+	Name        string       `json:"name"`
+	Desc        string       `json:"desc"`
+	WallSeconds float64      `json:"wall_seconds"`
+	AllocBytes  uint64       `json:"alloc_bytes"`
+	Allocs      uint64       `json:"allocs"`
+	Series      []jsonSeries `json:"series"`
+}
+
+// jsonReport is the top-level BENCH_PDS.json document.
+type jsonReport struct {
+	Seed        int64        `json:"seed"`
+	Runs        int          `json:"runs"`
+	SizeMB      int          `json:"size_mb"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	WallSeconds float64      `json:"wall_seconds"`
+	Figures     []jsonFigure `json:"figures"`
+}
+
+func toJSONSeries(series []*metrics.Series) []jsonSeries {
+	out := make([]jsonSeries, 0, len(series))
+	for _, s := range series {
+		js := jsonSeries{Name: s.Name}
+		for _, p := range s.Points {
+			jp := jsonPoint{
+				X:             p.X,
+				Label:         p.Label,
+				Recall:        p.Sample.Recall,
+				LatencySec:    p.Sample.Latency.Seconds(),
+				OverheadBytes: p.Sample.OverheadBytes,
+				Rounds:        p.Sample.Rounds,
+			}
+			if p.Sample.Faults != (metrics.FaultCounters{}) {
+				f := p.Sample.Faults
+				jp.Faults = &f
+			}
+			js.Points = append(js.Points, jp)
+		}
+		out = append(out, js)
+	}
+	return out
+}
+
+// runFigure executes one figure, prints it, and returns its
+// machine-readable record. Wall time and allocation counters come from
+// runtime.MemStats deltas around the run (total allocated bytes and
+// mallocs, not live heap), which is what the allocation-reduction work
+// tracks.
+func runFigure(f figure) jsonFigure {
+	fmt.Printf("==== %s ====\n", f.desc)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	series := f.run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if len(f.tables) > 0 {
+		for _, view := range f.tables {
+			fmt.Println(metrics.Table(view, series...))
+		}
+	} else {
+		for _, s := range series {
+			fmt.Println(s)
+		}
+	}
+	return jsonFigure{
+		Name:        f.name,
+		Desc:        f.desc,
+		WallSeconds: wall.Seconds(),
+		AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+		Allocs:      after.Mallocs - before.Mallocs,
+		Series:      toJSONSeries(series),
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("pds-bench", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "base random seed")
 	runs := fs.Int("runs", 3, "runs to average per point (paper: 5)")
 	sizeMB := fs.Int("size", 20, "item size in MB for retrieval figures")
+	jsonOut := fs.Bool("json", false, "also write machine-readable results to "+jsonFile)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,111 +161,108 @@ func run(args []string) error {
 	}
 	name := fs.Arg(0)
 
-	figures := []struct {
-		name string
-		desc string
-		run  func()
-	}{
-		{"fig3", "Figure 3: single-hop reception (raw / bucket / bucket+ack)", func() {
-			for _, s := range scenario.Fig03SingleHopReception(*seed, *runs) {
-				fmt.Println(s)
-			}
+	figures := []figure{
+		{name: "fig3", desc: "Figure 3: single-hop reception (raw / bucket / bucket+ack)", run: func() []*metrics.Series {
+			return scenario.Fig03SingleHopReception(*seed, *runs)
 		}},
-		{"leaky", "§V-2: leaky bucket LeakingRate sweep", func() {
-			fmt.Println(scenario.TabLeakyBucketSweep(*seed, *runs))
+		{name: "leaky", desc: "§V-2: leaky bucket LeakingRate sweep", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.TabLeakyBucketSweep(*seed, *runs)}
 		}},
-		{"ack", "§V-1: RetrTimeout / MaxRetrTime sweeps", func() {
-			for _, s := range scenario.TabAckSweep(*seed, *runs) {
-				fmt.Println(s)
-			}
+		{name: "ack", desc: "§V-1: RetrTimeout / MaxRetrTime sweeps", run: func() []*metrics.Series {
+			return scenario.TabAckSweep(*seed, *runs)
 		}},
-		{"saturation", "§VI-B: single-round no-ack recall vs metadata amount", func() {
-			for _, s := range scenario.SaturationSweep(*seed, *runs) {
-				fmt.Println(s)
-			}
+		{name: "saturation", desc: "§VI-B: single-round no-ack recall vs metadata amount", run: func() []*metrics.Series {
+			return scenario.SaturationSweep(*seed, *runs)
 		}},
-		{"fig4", "Figure 4: single-round PDD vs max hop count", func() {
-			fmt.Println(scenario.Fig04HopCount(*seed, *runs))
+		{name: "fig4", desc: "Figure 4: single-round PDD vs max hop count", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig04HopCount(*seed, *runs)}
 		}},
-		{"fig5", "Figure 5: multi-round recall vs T and T_d", func() {
-			for _, s := range scenario.Fig05MultiRound(*seed, *runs) {
-				fmt.Println(s)
-			}
+		{name: "fig5", desc: "Figure 5: multi-round recall vs T and T_d", run: func() []*metrics.Series {
+			return scenario.Fig05MultiRound(*seed, *runs)
 		}},
-		{"fig6", "Figure 6: multi-round PDD vs metadata amount", func() {
-			fmt.Println(scenario.Fig06MetadataAmount(*seed, *runs))
+		{name: "fig6", desc: "Figure 6: multi-round PDD vs metadata amount", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig06MetadataAmount(*seed, *runs)}
 		}},
-		{"fig7", "Figure 7: sequential consumers", func() {
-			fmt.Println(scenario.Fig07SequentialConsumers(*seed, *runs))
+		{name: "fig7", desc: "Figure 7: sequential consumers", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig07SequentialConsumers(*seed, *runs)}
 		}},
-		{"fig8", "Figure 8: simultaneous consumers", func() {
-			fmt.Println(scenario.Fig08SimultaneousConsumers(*seed, *runs))
+		{name: "fig8", desc: "Figure 8: simultaneous consumers", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig08SimultaneousConsumers(*seed, *runs)}
 		}},
-		{"fig9", "Figures 9/10: PDD under Student Center mobility", func() {
-			fmt.Println(scenario.Fig0910MobilityPDD(mobility.StudentCenter(), *seed, *runs))
+		{name: "fig9", desc: "Figures 9/10: PDD under Student Center mobility", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig0910MobilityPDD(mobility.StudentCenter(), *seed, *runs)}
 		}},
-		{"fig9class", "Figures 9/10 (classroom variant, §VI-B.2 'similar results')", func() {
-			fmt.Println(scenario.Fig0910MobilityPDD(mobility.Classroom(), *seed, *runs))
+		{name: "fig9class", desc: "Figures 9/10 (classroom variant, §VI-B.2 'similar results')", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig0910MobilityPDD(mobility.Classroom(), *seed, *runs)}
 		}},
-		{"fig11", "Figure 11: PDR vs item size", func() {
-			fmt.Println(scenario.Fig11DataItemSize(*seed, *runs))
+		{name: "fig11", desc: "Figure 11: PDR vs item size", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig11DataItemSize(*seed, *runs)}
 		}},
-		{"fig12", "Figure 12: PDR under Student Center mobility", func() {
-			fmt.Println(scenario.Fig12MobilityPDR(mobility.StudentCenter(), *sizeMB, *seed, *runs))
+		{name: "fig12", desc: "Figure 12: PDR under Student Center mobility", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig12MobilityPDR(mobility.StudentCenter(), *sizeMB, *seed, *runs)}
 		}},
-		{"fig12class", "Figure 12 (classroom variant)", func() {
-			fmt.Println(scenario.Fig12MobilityPDR(mobility.Classroom(), *sizeMB, *seed, *runs))
+		{name: "fig12class", desc: "Figure 12 (classroom variant)", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig12MobilityPDR(mobility.Classroom(), *sizeMB, *seed, *runs)}
 		}},
-		{"fig13", "Figures 13/14: PDR vs MDR across chunk redundancy", func() {
-			for _, s := range scenario.Fig1314Redundancy(*sizeMB, *seed, *runs) {
-				fmt.Println(s)
-			}
+		{name: "fig13", desc: "Figures 13/14: PDR vs MDR across chunk redundancy", run: func() []*metrics.Series {
+			return scenario.Fig1314Redundancy(*sizeMB, *seed, *runs)
 		}},
-		{"fig15", "Figure 15: PDR sequential consumers", func() {
-			fmt.Println(scenario.Fig15PDRSequential(*sizeMB, *seed, *runs))
+		{name: "fig15", desc: "Figure 15: PDR sequential consumers", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig15PDRSequential(*sizeMB, *seed, *runs)}
 		}},
-		{"fig16", "Figure 16: PDR simultaneous consumers", func() {
-			fmt.Println(scenario.Fig16PDRSimultaneous(*sizeMB, *seed, *runs))
+		{name: "fig16", desc: "Figure 16: PDR simultaneous consumers", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.Fig16PDRSimultaneous(*sizeMB, *seed, *runs)}
 		}},
-		{"ablation", "Ablations: one-shot interests / no mixedcast / no bloom", func() {
-			series := scenario.Ablation(*seed, *runs)
-			fmt.Println(metrics.Table("recall", series...))
-			fmt.Println(metrics.Table("latency", series...))
-			fmt.Println(metrics.Table("overhead", series...))
-		}},
-		{"balance", "Ablation: min-max balancing vs nearest-only", func() {
-			series := scenario.AblationNearestOnly(*sizeMB, *seed, *runs)
-			fmt.Println(metrics.Table("latency", series...))
-			fmt.Println(metrics.Table("overhead", series...))
-		}},
-		{"cache", "Ablation: cache eviction policies (FIFO/LRU/LFU, §VII)", func() {
-			series := scenario.CachePolicyAblation(3, *seed, *runs)
-			fmt.Println(metrics.Table("recall", series...))
-			fmt.Println(metrics.Table("latency", series...))
-			fmt.Println(metrics.Table("overhead", series...))
-		}},
+		{name: "ablation", desc: "Ablations: one-shot interests / no mixedcast / no bloom", run: func() []*metrics.Series {
+			return scenario.Ablation(*seed, *runs)
+		}, tables: []string{"recall", "latency", "overhead"}},
+		{name: "balance", desc: "Ablation: min-max balancing vs nearest-only", run: func() []*metrics.Series {
+			return scenario.AblationNearestOnly(*sizeMB, *seed, *runs)
+		}, tables: []string{"latency", "overhead"}},
+		{name: "cache", desc: "Ablation: cache eviction policies (FIFO/LRU/LFU, §VII)", run: func() []*metrics.Series {
+			return scenario.CachePolicyAblation(3, *seed, *runs)
+		}, tables: []string{"recall", "latency", "overhead"}},
 	}
 
-	if name == "all" {
-		start := time.Now()
-		for _, f := range figures {
-			fmt.Printf("==== %s ====\n", f.desc)
-			f.run()
+	report := jsonReport{
+		Seed:       *seed,
+		Runs:       *runs,
+		SizeMB:     *sizeMB,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	start := time.Now()
+	ran := false
+	for _, f := range figures {
+		if name == "all" || f.name == name {
+			report.Figures = append(report.Figures, runFigure(f))
+			ran = true
+			if f.name == name {
+				break
+			}
 			fmt.Println()
 		}
-		fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
-		return nil
 	}
-	for _, f := range figures {
-		if f.name == name {
-			fmt.Printf("==== %s ====\n", f.desc)
-			f.run()
-			return nil
+	if !ran {
+		known := make([]string, 0, len(figures))
+		for _, f := range figures {
+			known = append(known, f.name)
 		}
+		return fmt.Errorf("unknown figure %q (try: all, %s)", name, strings.Join(known, ", "))
 	}
-	known := make([]string, 0, len(figures))
-	for _, f := range figures {
-		known = append(known, f.name)
+	report.WallSeconds = time.Since(start).Seconds()
+	if name == "all" {
+		fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
 	}
-	return fmt.Errorf("unknown figure %q (try: all, %s)", name, strings.Join(known, ", "))
+	if *jsonOut {
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonFile, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonFile)
+	}
+	return nil
 }

@@ -197,9 +197,15 @@ func (d Descriptor) String() string {
 }
 
 // AppendBinary appends the canonical wire form: uvarint attribute count,
-// then sorted (name, value) pairs.
+// then sorted (name, value) pairs. The pairs are exactly the memoized
+// Key bytes, so for any descriptor built through the public
+// constructors this is a single copy with no allocation — descriptors
+// sit inside every response entry, so the encode path leans on this.
 func (d Descriptor) AppendBinary(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(d.attrs)))
+	if d.key != "" || len(d.attrs) == 0 {
+		return append(dst, d.key...)
+	}
 	for _, name := range d.Names() {
 		dst = binary.AppendUvarint(dst, uint64(len(name)))
 		dst = append(dst, name...)
@@ -209,8 +215,23 @@ func (d Descriptor) AppendBinary(dst []byte) []byte {
 }
 
 // EncodedSize returns the number of bytes AppendBinary would write.
+// Like AppendBinary it reads the memoized key, so the simulator can
+// charge airtime per descriptor without serializing anything.
 func (d Descriptor) EncodedSize() int {
+	if d.key != "" || len(d.attrs) == 0 {
+		return uvarintLen(uint64(len(d.attrs))) + len(d.key)
+	}
 	return len(d.AppendBinary(nil))
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // DecodeDescriptor decodes a descriptor encoded by AppendBinary and

@@ -50,10 +50,15 @@ func (n *Node) handleQuery(q *wire.Query) {
 		return
 	}
 
-	// Forwarding: update the receiver list (flooded planes keep it
-	// empty), stamp ourselves as sender, carry the rewritten Bloom
-	// filter so downstream nodes skip entries we just served
-	// (§III-B.2 en-route query rewriting).
+	// Forwarding: copy-on-write, never clone-then-mutate. The received
+	// query is shared with every node that heard the same frame, so the
+	// forwarded variant is a fresh Query struct sharing the immutable
+	// sections (Sel, Item, ChunkIDs) with only the rewritten fields
+	// replaced: sender, receiver list (flooded planes keep it empty),
+	// hop budget, and a snapshot of this node's rewritten Bloom filter
+	// so downstream nodes skip entries we just served (§III-B.2
+	// en-route query rewriting). The filter is copied; the payload and
+	// selector never are.
 	fwd := *q
 	fwd.Sender = n.id
 	fwd.Receivers = nil
@@ -61,6 +66,8 @@ func (n *Node) handleQuery(q *wire.Query) {
 		fwd.HopsLeft--
 	}
 	if lq.Bloom != nil {
+		// Snapshot, not alias: the lingering copy keeps mutating after
+		// this frame is queued, and an in-flight frame must not change.
 		fwd.Bloom = lq.Bloom.Clone()
 	}
 	n.stats.QueriesForwarded++

@@ -12,6 +12,7 @@
 package link
 
 import (
+	"sync"
 	"time"
 
 	"pds/internal/clock"
@@ -189,6 +190,11 @@ func (l *Link) Stats() Stats { return l.stats }
 // Send transmits a protocol message. Messages larger than FragmentBytes
 // are split into individually acknowledged fragments; each frame gets a
 // TransmitID and is paced through the leaky bucket.
+//
+// Ownership of msg transfers to the link layer with the call: Send
+// stamps the envelope (TransmitID, From, NoAck) before the frame first
+// leaves, and once transmitted the message is frozen — retransmissions
+// are built as copy-on-write variants, never by mutating the original.
 func (l *Link) Send(msg *wire.Message) {
 	l.stats.Sent++
 	size := wire.EncodedSize(msg)
@@ -244,10 +250,13 @@ func (l *Link) pumpJobs() {
 		frag := &wire.Message{
 			Type: wire.TypeFragment,
 			Fragment: &wire.Fragment{
-				OrigID:    job.origID,
-				Index:     i,
-				Count:     job.count,
-				Receivers: append([]wire.NodeID(nil), job.receivers...),
+				OrigID: job.origID,
+				Index:  i,
+				Count:  job.count,
+				// Shared with every fragment of the job: the list is
+				// frozen at job creation, and retransmission narrowing
+				// builds its own list via WithReceivers.
+				Receivers: job.receivers,
 				Size:      fsize,
 				Whole:     job.whole,
 			},
@@ -482,31 +491,19 @@ func (l *Link) retry(p *pending) {
 	// Retransmit with the receiver list narrowed to nodes that have not
 	// acknowledged yet (§V-1). The TransmitID stays the same so
 	// receivers that already processed the frame drop the duplicate.
+	// The retransmission is a copy-on-write variant of the original:
+	// only the receiver list is rebuilt — payload bytes, descriptor
+	// lists and Bloom filter stay shared with the published frame, so
+	// retrying a 256 KB chunk response costs a few header allocations.
 	// The retry timer re-arms when the retransmission leaves the pacing
 	// queue (transmit sees the pending entry by TransmitID).
-	retx := p.msg.Clone()
-	narrowReceivers(retx, p.remaining)
-	l.enqueue(retx)
-}
-
-func narrowReceivers(msg *wire.Message, remaining map[wire.NodeID]bool) {
-	keep := func(ids []wire.NodeID) []wire.NodeID {
-		out := ids[:0]
-		for _, id := range ids {
-			if remaining[id] {
-				out = append(out, id)
-			}
+	narrowed := make([]wire.NodeID, 0, len(p.remaining))
+	for _, id := range p.msg.Receivers() {
+		if p.remaining[id] {
+			narrowed = append(narrowed, id)
 		}
-		return out
 	}
-	switch {
-	case msg.Query != nil:
-		msg.Query.Receivers = keep(msg.Query.Receivers)
-	case msg.Response != nil:
-		msg.Response.Receivers = keep(msg.Response.Receivers)
-	case msg.Fragment != nil:
-		msg.Fragment.Receivers = keep(msg.Fragment.Receivers)
-	}
+	l.enqueue(p.msg.WithReceivers(narrowed))
 }
 
 // HandleIncoming processes a frame from the medium. It absorbs acks,
@@ -618,22 +615,41 @@ func (l *Link) reassemble(f *wire.Fragment, now time.Duration) *wire.Message {
 	r.delivered = true
 	l.stats.Reassembled++
 	if r.whole != nil {
-		// Virtual path: hand up a private clone; the original is shared
-		// by every receiver's fragments.
-		return r.whole.Clone()
+		// Virtual path: hand up the shared original. Every receiver's
+		// fragments reference the same published message, and published
+		// messages are read-only end to end (wire.Message ownership
+		// rules), so no private clone is needed.
+		return r.whole
 	}
-	// Real-transport path: concatenate and decode.
-	var buf []byte
+	// Real-transport path: concatenate into a pooled scratch buffer and
+	// decode. Decode fully materializes the message (payloads and
+	// fragment data are copied out), so the buffer can go straight back
+	// to the pool.
+	total := 0
 	for _, part := range r.parts {
-		buf = append(buf, part...)
+		total += len(part)
 	}
-	decoded, err := wire.Decode(buf)
+	buf := reasmBufPool.Get().(*[]byte)
+	*buf = (*buf)[:0]
+	if cap(*buf) < total {
+		*buf = make([]byte, 0, total)
+	}
+	for _, part := range r.parts {
+		*buf = append(*buf, part...)
+	}
+	decoded, err := wire.Decode(*buf)
+	reasmBufPool.Put(buf)
 	if err != nil {
 		l.stats.ReasmErrors++
 		return nil
 	}
 	return decoded
 }
+
+// reasmBufPool recycles reassembly scratch buffers: one multi-megabyte
+// concatenation per reassembled message would otherwise dominate the
+// real-transport receive path's allocations.
+var reasmBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
 // Reset wipes all volatile link state — pacing queue, in-flight ARQ
 // entries (their retry timers cancelled), fragment jobs, reassembly

@@ -224,8 +224,10 @@ func (m *Medium) Stats() Stats { return m.stats }
 func (m *Medium) Config() Config { return m.cfg }
 
 // Attach adds a node at pos. deliver receives every surviving frame,
-// including overheard ones. Attaching an existing id panics: scenarios
-// must manage id uniqueness.
+// including overheard ones. Delivered messages are shared across all
+// receivers of a broadcast and must be treated as read-only (see the
+// wire.Message ownership rules). Attaching an existing id panics:
+// scenarios must manage id uniqueness.
 func (m *Medium) Attach(id wire.NodeID, pos Pos, deliver func(*wire.Message)) *Radio {
 	if _, dup := m.nodes[id]; dup {
 		panic(fmt.Sprintf("radio: duplicate node id %d", id))
@@ -555,7 +557,13 @@ func (m *Medium) finishTransmission(rec txRecord, msg *wire.Message) {
 					m.OnDeliver(rec.from, id, msg)
 				}
 				if rx.deliver != nil {
-					rx.deliver(msg.Clone())
+					// One shared frame for every receiver: a broadcast
+					// puts the same bits on the air for everyone, and
+					// published messages are immutable (wire.Message
+					// ownership rules), so fan-out needs no per-receiver
+					// deep clone. Handlers that rewrite a section build a
+					// copy-on-write variant instead of mutating this one.
+					rx.deliver(msg)
 				}
 			}
 		}

@@ -14,7 +14,10 @@ import (
 // This file holds one constructor per figure of the paper's evaluation
 // (§V-4, §VI-B). Each returns metrics.Series ready for printing by
 // cmd/pds-bench or asserting in bench_test.go. Runs are averaged over
-// `runs` seeds, as the paper averages over 5 runs.
+// `runs` seeds, as the paper averages over 5 runs; independent runs
+// execute concurrently via parMap (see parallel.go) with per-run seeds
+// and output order unchanged, so every metric row is identical to the
+// sequential sweep for the same base seed.
 
 // discoveryDeadline bounds any one simulated discovery.
 const discoveryDeadline = 180 * time.Second
@@ -36,14 +39,13 @@ func runPDD(rows, cols, entries, redundancy int, opts Options, deadline time.Dur
 	}
 }
 
-// averagePDD repeats runPDD over seeds.
+// averagePDD repeats runPDD over seeds, one engine per run in parallel.
 func averagePDD(rows, cols, entries, redundancy int, opts Options, runs int, deadline time.Duration) metrics.Sample {
-	samples := make([]metrics.Sample, 0, runs)
-	for r := 0; r < runs; r++ {
+	samples := parMap(runs, func(r int) metrics.Sample {
 		o := opts
 		o.Seed = opts.Seed + int64(r)*101
-		samples = append(samples, runPDD(rows, cols, entries, redundancy, o, deadline))
-	}
+		return runPDD(rows, cols, entries, redundancy, o, deadline)
+	})
 	return metrics.Mean(samples)
 }
 
@@ -65,8 +67,7 @@ func Fig03SingleHopReception(seed int64, runs int) []*metrics.Series {
 	bucket := &metrics.Series{Name: "leaky-bucket"}
 	both := &metrics.Series{Name: "bucket+ack"}
 	for senders := 1; senders <= 4; senders++ {
-		var rr, rb, ra float64
-		for r := 0; r < runs; r++ {
+		rates := parMap(runs, func(r int) [3]float64 {
 			s := seed + int64(r)*31
 			cr := DefaultReception(senders)
 			cr.Pace, cr.Ack = false, false
@@ -74,9 +75,17 @@ func Fig03SingleHopReception(seed int64, runs int) []*metrics.Series {
 			cb.Pace = true
 			ca := DefaultReception(senders)
 			ca.Pace, ca.Ack = true, true
-			rr += SingleHopReception(cr, s).ReceptionRate
-			rb += SingleHopReception(cb, s).ReceptionRate
-			ra += SingleHopReception(ca, s).ReceptionRate
+			return [3]float64{
+				SingleHopReception(cr, s).ReceptionRate,
+				SingleHopReception(cb, s).ReceptionRate,
+				SingleHopReception(ca, s).ReceptionRate,
+			}
+		})
+		var rr, rb, ra float64
+		for _, rt := range rates {
+			rr += rt[0]
+			rb += rt[1]
+			ra += rt[2]
 		}
 		n := float64(runs)
 		label := fmt.Sprintf("%d senders", senders)
@@ -92,13 +101,12 @@ func Fig03SingleHopReception(seed int64, runs int) []*metrics.Series {
 func TabLeakyBucketSweep(seed int64, runs int) *metrics.Series {
 	s := &metrics.Series{Name: "reception vs LeakingRate (2 senders)"}
 	for _, mbps := range []float64{1, 2, 3, 4, 4.5, 5, 6, 7} {
-		var sum float64
-		for r := 0; r < runs; r++ {
+		sum := sumFloats(parMap(runs, func(r int) float64 {
 			cfg := DefaultReception(2)
 			cfg.Pace = true
 			cfg.LeakRateBps = mbps * 1e6
-			sum += SingleHopReception(cfg, seed+int64(r)*31).ReceptionRate
-		}
+			return SingleHopReception(cfg, seed+int64(r)*31).ReceptionRate
+		}))
 		s.Add(mbps, fmt.Sprintf("%gMbps", mbps), metrics.Sample{Recall: sum / float64(runs)})
 	}
 	return s
@@ -109,24 +117,22 @@ func TabLeakyBucketSweep(seed int64, runs int) *metrics.Series {
 func TabAckSweep(seed int64, runs int) []*metrics.Series {
 	byTimeout := &metrics.Series{Name: "reception vs RetrTimeout (2 senders)"}
 	for _, ms := range []int{25, 50, 100, 200, 400} {
-		var sum float64
-		for r := 0; r < runs; r++ {
+		sum := sumFloats(parMap(runs, func(r int) float64 {
 			cfg := DefaultReception(2)
 			cfg.Pace, cfg.Ack = true, true
 			cfg.RetrTimeout = time.Duration(ms) * time.Millisecond
-			sum += SingleHopReception(cfg, seed+int64(r)*31).ReceptionRate
-		}
+			return SingleHopReception(cfg, seed+int64(r)*31).ReceptionRate
+		}))
 		byTimeout.Add(float64(ms), fmt.Sprintf("%dms", ms), metrics.Sample{Recall: sum / float64(runs)})
 	}
 	byRetries := &metrics.Series{Name: "reception vs MaxRetrTime (2 senders)"}
 	for _, mr := range []int{0, 1, 2, 4, 6} {
-		var sum float64
-		for r := 0; r < runs; r++ {
+		sum := sumFloats(parMap(runs, func(r int) float64 {
 			cfg := DefaultReception(2)
 			cfg.Pace, cfg.Ack = true, true
 			cfg.MaxRetr = mr
-			sum += SingleHopReception(cfg, seed+int64(r)*31).ReceptionRate
-		}
+			return SingleHopReception(cfg, seed+int64(r)*31).ReceptionRate
+		}))
 		byRetries.Add(float64(mr), fmt.Sprintf("%d retries", mr), metrics.Sample{Recall: sum / float64(runs)})
 	}
 	return []*metrics.Series{byTimeout, byRetries}
@@ -200,24 +206,31 @@ func Fig06MetadataAmount(seed int64, runs int) *metrics.Series {
 func Fig07SequentialConsumers(seed int64, runs int) *metrics.Series {
 	s := &metrics.Series{Name: "sequential consumers"}
 	const entries = 5000
-	per := make([][]metrics.Sample, 5)
-	for r := 0; r < runs; r++ {
+	// Consumers within a run are sequential by design (caching builds
+	// up); the runs themselves are independent and run in parallel.
+	byRun := parMap(runs, func(r int) [5]metrics.Sample {
 		d := Grid(10, 10, GridSpacing, Options{Seed: seed + int64(r)*101})
 		d.DistributeEntries(entries, 1)
 		consumers := consumerIDs(d, 5, seed+int64(r))
+		var out [5]metrics.Sample
 		for i, c := range consumers {
 			before := d.Medium.Stats().TxBytes
 			res, _ := d.RunDiscovery(c, EntrySelector(), core.DiscoverOptions{}, discoveryDeadline)
-			per[i] = append(per[i], metrics.Sample{
+			out[i] = metrics.Sample{
 				Recall:        float64(len(res.Entries)) / entries,
 				Latency:       res.Latency,
 				OverheadBytes: d.Medium.Stats().TxBytes - before,
 				Rounds:        float64(res.Rounds),
-			})
+			}
 		}
-	}
-	for i := range per {
-		s.Add(float64(i+1), fmt.Sprintf("consumer %d", i+1), metrics.Mean(per[i]))
+		return out
+	})
+	for i := 0; i < 5; i++ {
+		per := make([]metrics.Sample, 0, runs)
+		for _, run := range byRun {
+			per = append(per, run[i])
+		}
+		s.Add(float64(i+1), fmt.Sprintf("consumer %d", i+1), metrics.Mean(per))
 	}
 	return s
 }
@@ -228,8 +241,7 @@ func Fig08SimultaneousConsumers(seed int64, runs int) *metrics.Series {
 	s := &metrics.Series{Name: "simultaneous consumers"}
 	const entries = 5000
 	for _, n := range []int{1, 2, 3, 4, 5} {
-		samples := make([]metrics.Sample, 0, runs)
-		for r := 0; r < runs; r++ {
+		samples := parMap(runs, func(r int) metrics.Sample {
 			d := Grid(10, 10, GridSpacing, Options{Seed: seed + int64(r)*101})
 			d.DistributeEntries(entries, 1)
 			consumers := consumerIDs(d, n, seed+int64(r))
@@ -254,13 +266,13 @@ func Fig08SimultaneousConsumers(seed int64, runs int) *metrics.Series {
 				}
 				rounds += float64(res.Rounds)
 			}
-			samples = append(samples, metrics.Sample{
+			return metrics.Sample{
 				Recall:        recall / float64(n),
 				Latency:       worst,
 				OverheadBytes: d.Medium.Stats().TxBytes - before,
 				Rounds:        rounds / float64(n),
-			})
-		}
+			}
+		})
 		s.Add(float64(n), fmt.Sprintf("%d consumers", n), metrics.Mean(samples))
 	}
 	return s
@@ -292,8 +304,7 @@ func Fig0910MobilityPDD(p mobility.Profile, seed int64, runs int) *metrics.Serie
 	s := &metrics.Series{Name: "PDD under mobility"}
 	const entries = 5000
 	for _, scale := range []float64{0.5, 1.0, 1.5, 2.0} {
-		samples := make([]metrics.Sample, 0, runs)
-		for r := 0; r < runs; r++ {
+		samples := parMap(runs, func(r int) metrics.Sample {
 			d, ids := MobileArea(p.Scale(scale), 10*time.Minute, Options{Seed: seed + int64(r)*101})
 			distributeOn(d, ids, entries)
 			consumer := ids[len(ids)/2]
@@ -302,13 +313,13 @@ func Fig0910MobilityPDD(p mobility.Profile, seed int64, runs int) *metrics.Serie
 			d.Eng.Run(30 * time.Second)
 			before := d.Medium.Stats().TxBytes
 			res, _ := d.RunDiscovery(consumer, EntrySelector(), core.DiscoverOptions{}, discoveryDeadline)
-			samples = append(samples, metrics.Sample{
+			return metrics.Sample{
 				Recall:        float64(len(res.Entries)) / entries,
 				Latency:       res.Latency,
 				OverheadBytes: d.Medium.Stats().TxBytes - before,
 				Rounds:        float64(res.Rounds),
-			})
-		}
+			}
+		})
 		s.Add(scale, fmt.Sprintf("x%.1f rates", scale), metrics.Mean(samples))
 	}
 	return s
@@ -330,21 +341,20 @@ func distributeOn(d *Deployment, ids []wire.NodeID, entries int) {
 func Fig11DataItemSize(seed int64, runs int) *metrics.Series {
 	s := &metrics.Series{Name: "PDR vs item size"}
 	for _, mb := range []int{1, 5, 10, 15, 20} {
-		samples := make([]metrics.Sample, 0, runs)
-		for r := 0; r < runs; r++ {
+		samples := parMap(runs, func(r int) metrics.Sample {
 			d := Grid(10, 10, GridSpacing, Options{Seed: seed + int64(r)*101})
 			consumer := CenterID(10, 10)
 			item := ItemDescriptor("clip", mb<<20, DefaultChunkSize)
 			item = d.DistributeChunks(item, DefaultChunkSize, 1, consumer)
 			before := d.Medium.Stats().TxBytes
 			res, _ := d.RunRetrieval(consumer, item, retrievalDeadline)
-			samples = append(samples, metrics.Sample{
+			return metrics.Sample{
 				Recall:        float64(len(res.Chunks)) / float64(item.TotalChunks()),
 				Latency:       res.Latency,
 				OverheadBytes: d.Medium.Stats().TxBytes - before,
 				Rounds:        float64(res.Rounds),
-			})
-		}
+			}
+		})
 		s.Add(float64(mb), fmt.Sprintf("%dMB", mb), metrics.Mean(samples))
 	}
 	return s
@@ -357,9 +367,9 @@ func Fig1314Redundancy(sizeMB int, seed int64, runs int) []*metrics.Series {
 	pdr := &metrics.Series{Name: "PDR"}
 	mdr := &metrics.Series{Name: "MDR"}
 	for _, red := range []int{1, 2, 3, 4, 5} {
-		var ps, ms []metrics.Sample
-		for r := 0; r < runs; r++ {
-			for _, method := range []string{"pdr", "mdr"} {
+		pairs := parMap(runs, func(r int) [2]metrics.Sample {
+			var pair [2]metrics.Sample
+			for mi, method := range []string{"pdr", "mdr"} {
 				d := Grid(10, 10, GridSpacing, Options{Seed: seed + int64(r)*101})
 				consumer := CenterID(10, 10)
 				item := ItemDescriptor("clip", sizeMB<<20, DefaultChunkSize)
@@ -371,18 +381,19 @@ func Fig1314Redundancy(sizeMB int, seed int64, runs int) []*metrics.Series {
 				} else {
 					res, _ = d.RunMDR(consumer, item, retrievalDeadline)
 				}
-				sample := metrics.Sample{
+				pair[mi] = metrics.Sample{
 					Recall:        float64(len(res.Chunks)) / float64(item.TotalChunks()),
 					Latency:       res.Latency,
 					OverheadBytes: d.Medium.Stats().TxBytes - before,
 					Rounds:        float64(res.Rounds),
 				}
-				if method == "pdr" {
-					ps = append(ps, sample)
-				} else {
-					ms = append(ms, sample)
-				}
 			}
+			return pair
+		})
+		var ps, ms []metrics.Sample
+		for _, pair := range pairs {
+			ps = append(ps, pair[0])
+			ms = append(ms, pair[1])
 		}
 		label := fmt.Sprintf("%d copies", red)
 		pdr.Add(float64(red), label, metrics.Mean(ps))
@@ -400,8 +411,7 @@ func Fig1314Redundancy(sizeMB int, seed int64, runs int) []*metrics.Series {
 func Fig12MobilityPDR(p mobility.Profile, sizeMB int, seed int64, runs int) *metrics.Series {
 	s := &metrics.Series{Name: "PDR under mobility"}
 	for _, scale := range []float64{0.5, 1.0, 1.5, 2.0} {
-		samples := make([]metrics.Sample, 0, runs)
-		for r := 0; r < runs; r++ {
+		samples := parMap(runs, func(r int) metrics.Sample {
 			d, ids := MobileArea(p.Scale(scale), 30*time.Minute, Options{Seed: seed + int64(r)*101})
 			consumer := ids[len(ids)/2]
 			d.Pin(consumer)
@@ -410,13 +420,13 @@ func Fig12MobilityPDR(p mobility.Profile, sizeMB int, seed int64, runs int) *met
 			d.Eng.Run(10 * time.Second)
 			before := d.Medium.Stats().TxBytes
 			res, _ := d.RunRetrieval(consumer, item, retrievalDeadline)
-			samples = append(samples, metrics.Sample{
+			return metrics.Sample{
 				Recall:        float64(len(res.Chunks)) / float64(item.TotalChunks()),
 				Latency:       res.Latency,
 				OverheadBytes: d.Medium.Stats().TxBytes - before,
 				Rounds:        float64(res.Rounds),
-			})
-		}
+			}
+		})
 		s.Add(scale, fmt.Sprintf("x%.1f rates", scale), metrics.Mean(samples))
 	}
 	return s
@@ -426,25 +436,30 @@ func Fig12MobilityPDR(p mobility.Profile, sizeMB int, seed int64, runs int) *met
 // same sizeMB item one after another; caching shortens later paths.
 func Fig15PDRSequential(sizeMB int, seed int64, runs int) *metrics.Series {
 	s := &metrics.Series{Name: "PDR sequential consumers"}
-	per := make([][]metrics.Sample, 5)
-	for r := 0; r < runs; r++ {
+	byRun := parMap(runs, func(r int) [5]metrics.Sample {
 		d := Grid(10, 10, GridSpacing, Options{Seed: seed + int64(r)*101})
 		consumers := consumerIDs(d, 5, seed+int64(r))
 		item := ItemDescriptor("clip", sizeMB<<20, DefaultChunkSize)
 		item = d.DistributeChunks(item, DefaultChunkSize, 1, consumers[0])
+		var out [5]metrics.Sample
 		for i, c := range consumers {
 			before := d.Medium.Stats().TxBytes
 			res, _ := d.RunRetrieval(c, item, retrievalDeadline)
-			per[i] = append(per[i], metrics.Sample{
+			out[i] = metrics.Sample{
 				Recall:        float64(len(res.Chunks)) / float64(item.TotalChunks()),
 				Latency:       res.Latency,
 				OverheadBytes: d.Medium.Stats().TxBytes - before,
 				Rounds:        float64(res.Rounds),
-			})
+			}
 		}
-	}
-	for i := range per {
-		s.Add(float64(i+1), fmt.Sprintf("consumer %d", i+1), metrics.Mean(per[i]))
+		return out
+	})
+	for i := 0; i < 5; i++ {
+		per := make([]metrics.Sample, 0, runs)
+		for _, run := range byRun {
+			per = append(per, run[i])
+		}
+		s.Add(float64(i+1), fmt.Sprintf("consumer %d", i+1), metrics.Mean(per))
 	}
 	return s
 }
@@ -454,8 +469,7 @@ func Fig15PDRSequential(sizeMB int, seed int64, runs int) *metrics.Series {
 func Fig16PDRSimultaneous(sizeMB int, seed int64, runs int) *metrics.Series {
 	s := &metrics.Series{Name: "PDR simultaneous consumers"}
 	for _, n := range []int{1, 2, 3, 4, 5} {
-		samples := make([]metrics.Sample, 0, runs)
-		for r := 0; r < runs; r++ {
+		samples := parMap(runs, func(r int) metrics.Sample {
 			d := Grid(10, 10, GridSpacing, Options{Seed: seed + int64(r)*101})
 			consumers := consumerIDs(d, n, seed+int64(r))
 			item := ItemDescriptor("clip", sizeMB<<20, DefaultChunkSize)
@@ -475,12 +489,12 @@ func Fig16PDRSimultaneous(sizeMB int, seed int64, runs int) *metrics.Series {
 			}
 			nn := n
 			d.Eng.RunUntil(retrievalDeadline, func() bool { return done == nn })
-			samples = append(samples, metrics.Sample{
+			return metrics.Sample{
 				Recall:        recall / float64(n),
 				Latency:       worst,
 				OverheadBytes: d.Medium.Stats().TxBytes - before,
-			})
-		}
+			}
+		})
 		s.Add(float64(n), fmt.Sprintf("%d consumers", n), metrics.Mean(samples))
 	}
 	return s
@@ -528,8 +542,7 @@ func AblationNearestOnly(sizeMB int, seed int64, runs int) []*metrics.Series {
 			name = "nearest-only"
 		}
 		s := &metrics.Series{Name: name}
-		samples := make([]metrics.Sample, 0, runs)
-		for r := 0; r < runs; r++ {
+		samples := parMap(runs, func(r int) metrics.Sample {
 			c := core.DefaultConfig()
 			c.LoadBalanceEnabled = balanced
 			d := Grid(10, 10, GridSpacing, Options{Seed: seed + int64(r)*101, Core: c})
@@ -538,12 +551,12 @@ func AblationNearestOnly(sizeMB int, seed int64, runs int) []*metrics.Series {
 			item = d.DistributeChunks(item, DefaultChunkSize, 3, consumer)
 			before := d.Medium.Stats().TxBytes
 			res, _ := d.RunRetrieval(consumer, item, retrievalDeadline)
-			samples = append(samples, metrics.Sample{
+			return metrics.Sample{
 				Recall:        float64(len(res.Chunks)) / float64(item.TotalChunks()),
 				Latency:       res.Latency,
 				OverheadBytes: d.Medium.Stats().TxBytes - before,
-			})
-		}
+			}
+		})
 		s.Add(1, fmt.Sprintf("%dMB", sizeMB), metrics.Mean(samples))
 		out = append(out, s)
 	}

@@ -11,8 +11,9 @@ import (
 
 // LingeringQuery is one entry of the Lingering Query Table (§III-A): a
 // received query that stays until expiration and keeps directing
-// matching responses back toward its sender. The Bloom filter received
-// with the query is cached alongside and rewritten en route (§III-B.2).
+// matching responses back toward its sender. Bloom holds this node's
+// private copy of the filter received with the query, rewritten en route
+// as entries are forwarded (§III-B.2); Query stays shared and read-only.
 type LingeringQuery struct {
 	Query    *wire.Query
 	ExpireAt time.Duration
@@ -70,10 +71,16 @@ func (t *LQT) Exists(id uint64, now time.Duration) bool {
 }
 
 // Insert adds a query, replacing any previous copy with the same id.
-// The query's Bloom filter (if any) is referenced, not copied: the table
-// owns it from here on and rewrites it as entries are forwarded.
+// The query itself is referenced, not copied — delivered queries are
+// immutable and may be shared by every node that heard the same frame —
+// but the Bloom filter is cloned: the table rewrites its copy as entries
+// are forwarded (§III-B.2), and mutating the query's own filter would
+// corrupt the shared message for every other holder.
 func (t *LQT) Insert(q *wire.Query, expireAt time.Duration) *LingeringQuery {
-	lq := &LingeringQuery{Query: q, ExpireAt: expireAt, Bloom: q.Bloom}
+	lq := &LingeringQuery{Query: q, ExpireAt: expireAt}
+	if q.Bloom != nil {
+		lq.Bloom = q.Bloom.Clone()
+	}
 	t.queries[q.ID] = lq
 	return lq
 }

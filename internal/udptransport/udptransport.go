@@ -88,6 +88,12 @@ type Transport struct {
 	wg       sync.WaitGroup
 	encCache map[uint64][]byte // OrigID -> encoded whole message
 
+	// sendMu serializes Send and guards sendBuf, a scratch buffer the
+	// datagram is framed into. The buffer is reused across sends, so
+	// steady-state sending performs no per-frame allocation.
+	sendMu  sync.Mutex
+	sendBuf []byte
+
 	stats Stats
 }
 
@@ -119,6 +125,17 @@ func encodeDatagram(payload []byte) []byte {
 	binary.BigEndian.PutUint32(out, crc32.ChecksumIEEE(payload))
 	copy(out[crcSize:], payload)
 	return out
+}
+
+// recvBufPool holds receive buffers for readLoop. wire.Decode fully
+// materializes every section it returns (payload bytes, fragment data,
+// bloom bits, attribute strings are all copied out of the source), so a
+// buffer can be recycled the moment decodeDatagram returns.
+var recvBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 2048)
+		return &b
+	},
 }
 
 // decodeDatagram verifies the CRC framing and decodes the message. It
@@ -213,22 +230,27 @@ func (t *Transport) Stats() Stats {
 }
 
 // Send encodes and broadcasts one frame. Virtual fragments are
-// materialized by slicing the encoded whole message.
+// materialized by slicing the encoded whole message. The datagram is
+// framed into a scratch buffer reused across sends; the message itself
+// is read-only here and never mutated or retained.
 func (t *Transport) Send(msg *wire.Message) bool {
-	payload, err := t.encode(msg)
+	t.sendMu.Lock()
+	buf, err := t.appendDatagram(t.sendBuf[:0], msg)
 	if err != nil {
+		t.sendMu.Unlock()
 		t.mu.Lock()
 		t.stats.SendErrors++
 		t.mu.Unlock()
 		return false
 	}
-	buf := encodeDatagram(payload)
+	t.sendBuf = buf[:0] // keep grown capacity for the next frame
 	ok := true
 	for _, dst := range t.dests {
 		if _, err := t.conn.WriteToUDP(buf, dst); err != nil {
 			ok = false
 		}
 	}
+	t.sendMu.Unlock()
 	t.mu.Lock()
 	if ok {
 		t.stats.DatagramsSent++
@@ -240,9 +262,13 @@ func (t *Transport) Send(msg *wire.Message) bool {
 	return ok
 }
 
-// encode turns a message into datagram bytes, materializing virtual
-// fragments.
-func (t *Transport) encode(msg *wire.Message) ([]byte, error) {
+// appendDatagram frames the message into dst — CRC header then encoded
+// payload — and returns the extended buffer. Virtual fragments are
+// materialized copy-on-write: a stack copy of the envelope and Fragment
+// section carries the encoded slice; the shared original is untouched.
+func (t *Transport) appendDatagram(dst []byte, msg *wire.Message) ([]byte, error) {
+	dst = append(dst, 0, 0, 0, 0) // CRC placeholder, filled below
+	var err error
 	if msg.Type == wire.TypeFragment && msg.Fragment != nil && msg.Fragment.Data == nil {
 		f := msg.Fragment
 		if f.Whole == nil {
@@ -251,7 +277,6 @@ func (t *Transport) encode(msg *wire.Message) ([]byte, error) {
 		t.mu.Lock()
 		whole, ok := t.encCache[f.OrigID]
 		if !ok {
-			var err error
 			whole, err = wire.Encode(f.Whole)
 			if err != nil {
 				t.mu.Unlock()
@@ -276,19 +301,32 @@ func (t *Transport) encode(msg *wire.Message) ([]byte, error) {
 		if hi > len(whole) {
 			hi = len(whole)
 		}
-		real := msg.Clone()
-		real.Fragment.Whole = nil
-		real.Fragment.Data = whole[lo:hi]
-		real.Fragment.Size = hi - lo
-		return wire.Encode(real)
+		real := *msg
+		fcopy := *f
+		fcopy.Whole = nil
+		fcopy.Data = whole[lo:hi]
+		fcopy.Size = hi - lo
+		real.Fragment = &fcopy
+		dst, err = wire.AppendEncode(dst, &real)
+	} else {
+		dst, err = wire.AppendEncode(dst, msg)
 	}
-	return wire.Encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(dst, crc32.ChecksumIEEE(dst[crcSize:]))
+	return dst, nil
 }
 
 func (t *Transport) readLoop() {
 	defer t.wg.Done()
-	buf := make([]byte, t.cfg.MaxDatagram)
 	local := t.conn.LocalAddr().String()
+	bp := recvBufPool.Get().(*[]byte)
+	defer recvBufPool.Put(bp)
+	if cap(*bp) < t.cfg.MaxDatagram {
+		*bp = make([]byte, t.cfg.MaxDatagram)
+	}
+	buf := (*bp)[:t.cfg.MaxDatagram]
 	for {
 		n, from, err := t.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -297,7 +335,9 @@ func (t *Transport) readLoop() {
 		if from != nil && from.String() == local {
 			continue // our own broadcast echoed back
 		}
-		msg, err := decodeDatagram(append([]byte(nil), buf[:n]...))
+		// Decode straight from the receive buffer: the codec copies out
+		// everything it keeps, so no per-datagram clone is needed.
+		msg, err := decodeDatagram(buf[:n])
 		if err != nil {
 			t.mu.Lock()
 			if errors.Is(err, errChecksum) {

@@ -89,7 +89,14 @@ func decodeInts(src []byte) ([]int, []byte, error) {
 
 // Encode serializes the message to a fresh buffer.
 func Encode(m *Message) ([]byte, error) {
-	dst := make([]byte, 0, 64)
+	return AppendEncode(make([]byte, 0, 64), m)
+}
+
+// AppendEncode serializes the message, appending to dst and returning
+// the extended buffer. Transports that reuse a scratch buffer across
+// sends avoid the per-message allocation of Encode; EncodedSize gives
+// the exact number of bytes appended for pre-sizing.
+func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 	dst = append(dst, frameMagic, frameVersion, byte(m.Type))
 	dst = binary.AppendUvarint(dst, m.TransmitID)
 	dst = binary.AppendUvarint(dst, uint64(m.From))

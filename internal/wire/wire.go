@@ -219,6 +219,37 @@ type Ack struct {
 
 // Message is the transmission envelope handed to a transport. Exactly one
 // of Query, Response, Ack is non-nil, per Type.
+//
+// # Ownership and mutability
+//
+// Messages are immutable-by-convention once published. The lifecycle is:
+//
+//  1. The builder (package core) constructs a fresh Message and hands it
+//     to the link layer via Send. Ownership transfers with the call: the
+//     link layer stamps the envelope (TransmitID, From, NoAck) before the
+//     frame first leaves, and the builder must not touch the message
+//     again.
+//  2. From the first transmission on, the message — envelope and body —
+//     is frozen. The medium delivers the *same* pointer to every
+//     receiver (no per-receiver clone), so any in-place mutation would
+//     corrupt the frame for every other node that overheard it.
+//  3. A layer that needs a variant (retransmission with a narrowed
+//     receiver list, a forwarded query with a rewritten Bloom filter)
+//     builds one through the copy-on-write helpers — ShallowShare,
+//     WithReceivers, WithBloom, WithEntries — which copy only the
+//     rewritten section and share everything else.
+//
+// Section ownership after publication:
+//
+//   - Blob.Payload bytes, attr.Descriptor values (Sel, Item, Entries,
+//     Blobs[i].Desc) and Fragment.Whole/Data are always immutable and
+//     freely shared across messages, nodes and goroutines.
+//   - Receiver lists, ChunkIDs, Serves and CDI slices are frozen with
+//     the message; rewriting goes through a CoW helper.
+//   - Query.Bloom is frozen with the message. A node that rewrites the
+//     filter en route (§III-B.2) must work on its own copy — the LQT
+//     clones the filter at insert — and attach a fresh snapshot to the
+//     forwarded copy via WithBloom.
 type Message struct {
 	// Type discriminates the body.
 	Type MessageType
@@ -273,11 +304,77 @@ func (m *Message) IsIntendedFor(id NodeID) bool {
 	return false
 }
 
-// Clone returns a copy safe for independent mutation by another node.
-// Chunk payload bytes are shared (they are immutable once published), so
-// cloning a 256 KB chunk message costs only header work; this is what
-// lets the simulator cache large items at every overhearing node without
-// duplicating memory.
+// ShallowShare returns a copy of the envelope sharing every body
+// pointer. It is the cheapest way to hand a published message to another
+// consumer that needs its own envelope (one small allocation, no body
+// work); the shared body sections stay read-only per the ownership
+// rules above.
+func (m *Message) ShallowShare() *Message {
+	out := *m
+	return &out
+}
+
+// WithReceivers returns a copy of the message whose body carries the
+// given receiver list, sharing every other section — payloads,
+// descriptor lists, Bloom filter, fragment data. The caller transfers
+// ownership of rs to the new message. This is how the link layer narrows
+// a retransmission to the not-yet-acked subset without duplicating a
+// 256 KB chunk payload.
+func (m *Message) WithReceivers(rs []NodeID) *Message {
+	out := *m
+	switch {
+	case m.Query != nil:
+		q := *m.Query
+		q.Receivers = rs
+		out.Query = &q
+	case m.Response != nil:
+		r := *m.Response
+		r.Receivers = rs
+		out.Response = &r
+	case m.Fragment != nil:
+		f := *m.Fragment
+		f.Receivers = rs
+		out.Fragment = &f
+	}
+	return &out
+}
+
+// WithBloom returns a copy of a query message carrying the given Bloom
+// filter, sharing everything else. The caller transfers ownership of f
+// to the new message; per-hop en-route rewriting (§III-B.2) snapshots
+// its lingering filter and attaches it here — the filter is copied, the
+// payload never is.
+func (m *Message) WithBloom(f *bloom.Filter) *Message {
+	out := *m
+	if m.Query != nil {
+		q := *m.Query
+		q.Bloom = f
+		out.Query = &q
+	}
+	return &out
+}
+
+// WithEntries returns a copy of a response message carrying the given
+// entry list, sharing everything else. The caller transfers ownership of
+// entries to the new message; relays that prune a response down to the
+// still-wanted subset rebuild only this section.
+func (m *Message) WithEntries(entries []attr.Descriptor) *Message {
+	out := *m
+	if m.Response != nil {
+		r := *m.Response
+		r.Entries = entries
+		out.Response = &r
+	}
+	return &out
+}
+
+// Clone returns a copy whose protocol-rewritable sections — receiver
+// lists, ChunkIDs, Serves and the Bloom filter — are private, for
+// callers outside the CoW discipline (tests, external tools). Immutable
+// sections are shared: payload bytes, descriptors, entry/CDI lists and
+// fragment contents never change after publication, so cloning a 256 KB
+// chunk message costs only header work. In-repo layers prefer
+// ShallowShare/WithReceivers/WithBloom, which copy even less.
 func (m *Message) Clone() *Message {
 	out := &Message{
 		Type:       m.Type,
@@ -298,9 +395,8 @@ func (m *Message) Clone() *Message {
 		r := *m.Response
 		r.Receivers = append([]NodeID(nil), m.Response.Receivers...)
 		r.Serves = append([]Serve(nil), m.Response.Serves...)
-		r.Entries = append([]attr.Descriptor(nil), m.Response.Entries...)
-		r.CDI = append([]CDIPair(nil), m.Response.CDI...)
-		r.Blobs = append([]Blob(nil), m.Response.Blobs...)
+		// Entries, CDI and Blobs are shared: descriptors are immutable
+		// value types and payload bytes never mutate after publish.
 		out.Response = &r
 	}
 	if m.Ack != nil {

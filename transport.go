@@ -96,6 +96,11 @@ func (m *chanMember) pump() {
 	}
 }
 
+// Send fans the frame out to every other member. All receivers get the
+// same *wire.Message: transmitted frames are frozen (see wire.Message's
+// ownership rules), so sharing one pointer across inboxes is safe and
+// mirrors what a real broadcast medium does — every radio hears the
+// same bits.
 func (m *chanMember) Send(msg *wire.Message) bool {
 	m.hub.mu.Lock()
 	members := append([]*chanMember(nil), m.hub.members...)
@@ -106,7 +111,7 @@ func (m *chanMember) Send(msg *wire.Message) bool {
 			continue
 		}
 		select {
-		case other.inbox <- msg.Clone():
+		case other.inbox <- msg:
 		default:
 			ok = false // receiver overloaded: frame dropped, like a full buffer
 		}
