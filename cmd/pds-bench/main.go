@@ -8,7 +8,7 @@
 //
 // where <figure> is one of: fig3, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig9class, fig11, fig12, fig12class, fig13, fig15, fig16, saturation,
-// leaky, ack, ablation, balance, cache, all.
+// leaky, ack, ablation, balance, cache, chaos, all.
 //
 // With -json, machine-readable results — every metric row plus wall
 // time and allocation counters per figure — are also written to
@@ -30,6 +30,7 @@ import (
 	"pds/internal/metrics"
 	"pds/internal/mobility"
 	"pds/internal/scenario"
+	"pds/internal/trace"
 )
 
 func main() {
@@ -152,6 +153,8 @@ func run(args []string) error {
 	runs := fs.Int("runs", 3, "runs to average per point (paper: 5)")
 	sizeMB := fs.Int("size", 20, "item size in MB for retrieval figures")
 	jsonOut := fs.Bool("json", false, "also write machine-readable results to "+jsonFile)
+	traceOut := fs.String("trace-out", "",
+		"additionally run one traced Figure-8 discovery (5 consumers, 5000 entries) and write its JSONL here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -222,6 +225,9 @@ func run(args []string) error {
 		{name: "cache", desc: "Ablation: cache eviction policies (FIFO/LRU/LFU, §VII)", run: func() []*metrics.Series {
 			return scenario.CachePolicyAblation(3, *seed, *runs)
 		}, tables: []string{"recall", "latency", "overhead"}},
+		{name: "chaos", desc: "Chaos scenarios: crash-the-hub / flash-crowd-churn / corrupt-10pct", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.ChaosSeries(*seed, *runs)}
+		}},
 	}
 
 	report := jsonReport{
@@ -263,6 +269,25 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", jsonFile)
+	}
+	if *traceOut != "" {
+		// Traced runs get a dedicated deployment — the figure sweeps
+		// above run concurrently, which would interleave event order.
+		sample, tracer := scenario.TracedFig08(*seed, 5, 5000, true, 0)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		events := tracer.Events()
+		if err := trace.WriteJSONL(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: fig8 recall=%.3f, %d events -> %s (dropped %d)\n",
+			sample.Recall, len(events), *traceOut, tracer.Dropped())
 	}
 	return nil
 }

@@ -19,11 +19,16 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pds"
@@ -50,9 +55,16 @@ func run(args []string) error {
 	stay := fs.Duration("stay", time.Minute, "how long to keep serving after -share")
 	timeout := fs.Duration("timeout", 2*time.Minute, "discovery/retrieval budget")
 	id := fs.Uint("id", 0, "node id (0 = random)")
+	debugAddr := fs.String("debug-addr", "",
+		"serve expvar, pprof and a /debug/trace recent-events dump on this HTTP address, e.g. 127.0.0.1:6060")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// SIGINT/SIGTERM cancels whatever the node is doing — including the
+	// -stay serving window — so the UDP socket always closes cleanly.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var (
 		trans pds.Transport
@@ -75,6 +87,9 @@ func run(args []string) error {
 	if *id != 0 {
 		opts = append(opts, pds.WithNodeID(pds.NodeID(*id)))
 	}
+	if *debugAddr != "" {
+		opts = append(opts, pds.WithTracing(0))
+	}
 	node, err := pds.NewNode(trans, opts...)
 	if err != nil {
 		return err
@@ -82,7 +97,13 @@ func run(args []string) error {
 	defer node.Close()
 	fmt.Printf("node %d up\n", node.ID())
 
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	if *debugAddr != "" {
+		srv := debugServer(*debugAddr, node)
+		defer srv.Close()
+		fmt.Printf("debug endpoint on http://%s/debug/\n", *debugAddr)
+	}
+
+	ctx, cancel := context.WithTimeout(sigCtx, *timeout)
 	defer cancel()
 
 	if *share != "" {
@@ -102,7 +123,11 @@ func run(args []string) error {
 		desc = node.PublishItem(desc, payload, pds.DefaultChunkSize)
 		fmt.Printf("sharing %q: %d bytes, %d chunks; serving for %v\n",
 			label, len(payload), desc.TotalChunks(), *stay)
-		time.Sleep(*stay)
+		select {
+		case <-time.After(*stay):
+		case <-sigCtx.Done():
+			fmt.Println("interrupted; shutting down")
+		}
 		return nil
 	}
 
@@ -147,6 +172,34 @@ func run(args []string) error {
 
 	fmt.Println("nothing to do: pass -share, -discover or -fetch")
 	return nil
+}
+
+// debugServer starts the live-telemetry HTTP endpoint: expvar (with the
+// node's protocol counters published under "pds_stats"), the pprof
+// profiles, and /debug/trace streaming the tracer's buffered events as
+// JSONL — the same format pds-trace analyzes.
+func debugServer(addr string, node *pds.Node) *http.Server {
+	expvar.Publish("pds_stats", expvar.Func(func() any { return node.Stats() }))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := node.Tracer().WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "pds-node: debug endpoint:", err)
+		}
+	}()
+	return srv
 }
 
 func parseLoopback(listen, peers string) (int, []int, error) {

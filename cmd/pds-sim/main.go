@@ -21,6 +21,7 @@ import (
 	"pds/internal/metrics"
 	"pds/internal/mobility"
 	"pds/internal/scenario"
+	"pds/internal/trace"
 	"pds/internal/wire"
 )
 
@@ -45,7 +46,10 @@ func run(args []string) error {
 	deadline := fs.Duration("deadline", 15*time.Minute, "virtual-time budget")
 	singleRound := fs.Bool("single-round", false, "limit PDD to one round")
 	noAck := fs.Bool("no-ack", false, "disable per-hop ack/retransmission")
-	trace := fs.Bool("trace", false, "print every transmission (virtual time, sender, type, size)")
+	txTrace := fs.Bool("trace", false, "print every transmission (virtual time, sender, type, size)")
+	traceOut := fs.String("trace-out", "",
+		"write hop-level trace events as JSONL to this file (analyze with pds-trace)")
+	traceCap := fs.Int("trace-cap", 0, "per-node trace ring capacity (0 = default)")
 	faultPlan := fs.String("fault-plan", "",
 		"fault plan, e.g. 'crash:45@30s+20s;burst@10s+60s:0.4' (see internal/fault.ParsePlan)")
 	crash := fs.String("crash", "", "crash one node: <node>@<at>[+<downtime>] (shorthand for -fault-plan crash:...)")
@@ -99,6 +103,11 @@ func run(args []string) error {
 		d = scenario.Grid(*rows, *cols, scenario.GridSpacing, opts)
 	}
 
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = d.EnableTracing(*traceCap)
+	}
+
 	// Assemble and install the fault plan. The consumer is pinned first
 	// so a plan cannot crash the measurement node out of the experiment.
 	spec := *faultPlan
@@ -125,7 +134,7 @@ func run(args []string) error {
 		inj = d.InstallFaults(plan)
 	}
 
-	if *trace {
+	if *txTrace {
 		d.Medium.OnTransmit = func(from wire.NodeID, msg *wire.Message, size int) {
 			kind := ""
 			switch {
@@ -188,6 +197,22 @@ func run(args []string) error {
 		}
 		fmt.Printf("faults: %s restarts=%d departures=%d burst-losses=%d dup-frames=%d\n",
 			fc, fsStats.Restarts, fsStats.Departures, fsStats.BurstLosses, rs.DupFrames)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		events := tracer.Events()
+		if err := trace.WriteJSONL(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s (dropped %d)\n",
+			len(events), *traceOut, tracer.Dropped())
 	}
 	return nil
 }

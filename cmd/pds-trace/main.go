@@ -1,0 +1,125 @@
+// Command pds-trace analyzes a hop-level JSONL trace exported by
+// pds-sim -trace-out or pds-bench -trace-out: it reconstructs the
+// per-query message trees — the consumer's flood hop by hop, every
+// response generated or relayed for it, recursive chunk sub-queries,
+// and the airtime the tree burned — and prints one summary line per
+// query root, or a full tree with -query.
+//
+// Examples:
+//
+//	pds-sim -entries 2000 -trace-out trace.jsonl
+//	pds-trace trace.jsonl               # one line per query root
+//	pds-trace -query 271 trace.jsonl    # one root in detail, with hops
+//	pds-sim -trace-out /dev/stdout -entries 500 | tail -n +1 | pds-trace -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"pds/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pds-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pds-trace", flag.ContinueOnError)
+	queryID := fs.Uint64("query", 0, "print this query root in detail (0 = list all roots)")
+	asJSON := fs.Bool("json", false, "emit the summaries as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if fs.NArg() > 0 && fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := trace.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+	a := trace.Analyze(events)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if *queryID != 0 {
+			q := a.Query(*queryID)
+			if q == nil {
+				return fmt.Errorf("no query root %d in trace", *queryID)
+			}
+			return enc.Encode(q)
+		}
+		return enc.Encode(a.Queries)
+	}
+
+	if *queryID != 0 {
+		q := a.Query(*queryID)
+		if q == nil {
+			return fmt.Errorf("no query root %d in trace", *queryID)
+		}
+		printDetail(q)
+		return nil
+	}
+
+	fmt.Printf("%d events, %d query roots", a.Events, len(a.Queries))
+	if a.Unrooted > 0 {
+		fmt.Printf(", %d unrooted response events", a.Unrooted)
+	}
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "QUERY\tNODE\tKIND\tROUND\tSTART\tHOPS\tDEPTH\tRESPS\tENTRIES\tRELAYS\tMERGES\tSUPPR\tSUBQ\tFRAMES\tAIRTIME")
+	for _, q := range a.Queries {
+		fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			q.ID, q.Consumer, q.Kind, q.Round, fmtDur(q.Start),
+			len(q.Hops), q.MaxDepth, len(q.RespIDs), q.ServedEntries,
+			q.Relays, q.Merges, q.Suppressions, len(q.SubQueryIDs),
+			q.Frames, fmtDur(q.Airtime))
+	}
+	return w.Flush()
+}
+
+func printDetail(q *trace.QuerySummary) {
+	fmt.Printf("query %d: %s round %d from node %d at %s\n",
+		q.ID, q.Kind, q.Round, q.Consumer, fmtDur(q.Start))
+	fmt.Printf("  flood: %d forwarders, max depth %d (%d forwards incl. sub-queries)\n",
+		len(q.Hops), q.MaxDepth, q.Forwards)
+	fmt.Printf("  responses: %d messages, %d entries served, %d relays, %d mixedcast merges, %d bloom-suppressed\n",
+		len(q.RespIDs), q.ServedEntries, q.Relays, q.Merges, q.Suppressions)
+	if len(q.SubQueryIDs) > 0 {
+		fmt.Printf("  chunk sub-queries: %d %v\n", len(q.SubQueryIDs), q.SubQueryIDs)
+	}
+	fmt.Printf("  channel: %d frames, %d bytes, %s airtime\n", q.Frames, q.Bytes, fmtDur(q.Airtime))
+	if q.FirstResponse > 0 {
+		fmt.Printf("  first response after %s\n", fmtDur(q.FirstResponse-q.Start))
+	}
+	if len(q.Hops) > 0 {
+		fmt.Println("  hops:")
+		w := tabwriter.NewWriter(os.Stdout, 2, 0, 1, ' ', 0)
+		for _, h := range q.Hops {
+			fmt.Fprintf(w, "    depth %d\tnode %d\t<- %d\tat %s\t(+%s)\n",
+				h.Depth, h.Node, h.From, fmtDur(h.T), fmtDur(h.Latency))
+		}
+		w.Flush()
+	}
+}
+
+// fmtDur rounds durations to the microsecond for readable columns.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

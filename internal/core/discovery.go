@@ -210,6 +210,7 @@ func (s *session) startRound() {
 		q.Bloom = f
 	}
 	n.lqt.Insert(q, n.clk.Now()+q.TTL)
+	n.tr.QueryStart(q.ID, s.round, q.Kind.String())
 	n.transmit(&wire.Message{Type: wire.TypeQuery, Query: q})
 }
 

@@ -97,7 +97,7 @@ func TestSendFailureBlacklistRegression(t *testing.T) {
 	addRoutes()
 
 	chunkTargets = nil
-	n.sendChunkQueries(item, []int{0}, 1, 0)
+	n.sendChunkQueries(item, []int{0}, 1, 0, 0)
 	for _, nb := range chunkTargets {
 		if nb == 2 {
 			t.Fatal("blacklisted neighbor 2 re-selected after send failure")

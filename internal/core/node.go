@@ -17,6 +17,7 @@ import (
 	"pds/internal/attr"
 	"pds/internal/clock"
 	"pds/internal/store"
+	"pds/internal/trace"
 	"pds/internal/wire"
 )
 
@@ -200,6 +201,9 @@ type Node struct {
 	// signal ExtendRoundsOnLoss reads.
 	lastSendFailAt time.Duration
 
+	// tr records protocol-plane trace events; nil (the default) is free.
+	tr *trace.NodeTracer
+
 	stats   Stats
 	stopped bool
 	// crashed marks a powered-off node: it neither sends nor processes.
@@ -241,6 +245,15 @@ func (n *Node) Stats() Stats { return n.stats }
 
 // Store exposes the data store for scenario seeding and assertions.
 func (n *Node) Store() *store.DataStore { return n.ds }
+
+// SetTracer installs a node-bound tracer for protocol events and
+// propagates it to the node's store and lingering-query table. A nil
+// tracer disables tracing.
+func (n *Node) SetTracer(tr *trace.NodeTracer) {
+	n.tr = tr
+	n.ds.SetTracer(tr)
+	n.lqt.SetTracer(tr)
+}
 
 // CDI exposes the chunk-distribution table for tests.
 func (n *Node) CDI() *store.CDITable { return n.cdi }
@@ -286,6 +299,9 @@ func (n *Node) Crash() {
 	n.ds.WipeCached()
 	n.cdi = store.NewCDITable()
 	n.lqt = store.NewLQT()
+	// The recreated table must keep tracing: a restarted node's
+	// post-crash lingering queries are part of the same trace.
+	n.lqt.SetTracer(n.tr)
 	n.rr = store.NewRecentResponses(n.cfg.RecentRespRetention)
 	n.health.reset()
 }
@@ -423,6 +439,36 @@ func (n *Node) newID() uint64 {
 		if id != 0 {
 			return id
 		}
+	}
+}
+
+// traceServe records a generated response's steering: one RespServe
+// per serve binding, plus a MixedcastMerge when one message answers
+// several queries at once (§III-B.1).
+func (n *Node) traceServe(r *wire.Response, units int) {
+	if !n.tr.Enabled() {
+		return
+	}
+	for _, sv := range r.Serves {
+		n.tr.RespServe(r.ID, sv.QueryID, units)
+	}
+	if len(r.Serves) > 1 {
+		n.tr.MixedcastMerge(r.ID, len(r.Serves), units)
+	}
+}
+
+// traceRelay records a relayed response: the hop edge back to the
+// received response it was derived from, plus its query bindings.
+func (n *Node) traceRelay(fwd *wire.Response, srcRespID uint64, units int) {
+	if !n.tr.Enabled() {
+		return
+	}
+	n.tr.RespRelay(fwd.ID, srcRespID, units)
+	for _, sv := range fwd.Serves {
+		n.tr.RespServe(fwd.ID, sv.QueryID, units)
+	}
+	if len(fwd.Serves) > 1 {
+		n.tr.MixedcastMerge(fwd.ID, len(fwd.Serves), units)
 	}
 }
 

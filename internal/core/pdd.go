@@ -71,6 +71,7 @@ func (n *Node) handleQuery(q *wire.Query) {
 		fwd.Bloom = lq.Bloom.Clone()
 	}
 	n.stats.QueriesForwarded++
+	n.tr.QueryForward(q.ID, q.Sender, int(fwd.HopsLeft))
 	n.sendJittered(&wire.Message{Type: wire.TypeQuery, Query: &fwd}, n.cfg.ForwardJitterMax)
 }
 
@@ -163,6 +164,7 @@ func (n *Node) serveQueries(kind wire.QueryKind) {
 			}
 			if lq.Bloom != nil && !lq.Bloom.Overloaded() && lq.Bloom.Contains(key) {
 				n.stats.EntriesPruned++
+				n.tr.BloomSuppress(lq.Query.ID, key)
 				continue
 			}
 			if lq.Bloom != nil {
@@ -236,6 +238,7 @@ func (n *Node) sendEntryResponses(kind wire.QueryKind, entries []attr.Descriptor
 			Entries:   batch,
 		}
 		n.stats.ResponsesSent++
+		n.traceServe(r, len(batch))
 		n.sendJittered(&wire.Message{Type: wire.TypeResponse, Response: r}, n.cfg.ResponseJitterMax)
 		batch = nil
 		used = 0
@@ -274,6 +277,7 @@ func (n *Node) sendBlobResponses(kind wire.QueryKind, item attr.Descriptor, blob
 			Blobs:     batch,
 		}
 		n.stats.ResponsesSent++
+		n.traceServe(r, len(batch))
 		n.sendJittered(&wire.Message{Type: wire.TypeResponse, Response: r}, n.cfg.ResponseJitterMax)
 		batch = nil
 		used = 0
@@ -362,6 +366,7 @@ func (n *Node) cacheResponse(r *wire.Response, now time.Duration) {
 			}
 			if n.cdi.Update(itemKey, e) {
 				updates++
+				n.tr.CDIUpdate(r.ID, r.Sender, p.ChunkID, p.HopCount+1)
 			}
 		}
 		// A CDI response also implies the item exists: cache its entry
@@ -438,6 +443,11 @@ func (n *Node) relayEntries(r *wire.Response, now time.Duration) {
 	if len(routes) == 0 {
 		return
 	}
+	if n.tr.Enabled() {
+		for _, rt := range routes {
+			n.tr.LQMatch(r.ID, rt.qid)
+		}
+	}
 
 	if n.cfg.MixedcastEnabled {
 		kept := make([]attr.Descriptor, 0, len(r.Entries))
@@ -457,6 +467,7 @@ func (n *Node) relayEntries(r *wire.Response, now time.Duration) {
 					continue
 				}
 				if lq.Bloom != nil && !lq.Bloom.Overloaded() && lq.Bloom.Contains(key) {
+					n.tr.BloomSuppress(rt.qid, key)
 					continue
 				}
 				matched = true
@@ -492,6 +503,7 @@ func (n *Node) relayEntries(r *wire.Response, now time.Duration) {
 			Entries:   kept,
 		}
 		n.stats.ResponsesRelayed++
+		n.traceRelay(fwd, r.ID, len(kept))
 		n.transmit(&wire.Message{Type: wire.TypeResponse, Response: fwd})
 		return
 	}
@@ -507,6 +519,7 @@ func (n *Node) relayEntries(r *wire.Response, now time.Duration) {
 				continue
 			}
 			if lq.Bloom != nil && !lq.Bloom.Overloaded() && lq.Bloom.Contains(key) {
+				n.tr.BloomSuppress(rt.qid, key)
 				continue
 			}
 			if lq.Bloom != nil {
@@ -530,6 +543,7 @@ func (n *Node) relayEntries(r *wire.Response, now time.Duration) {
 			Entries:   kept,
 		}
 		n.stats.ResponsesRelayed++
+		n.traceRelay(fwd, r.ID, len(kept))
 		n.transmit(&wire.Message{Type: wire.TypeResponse, Response: fwd})
 	}
 }
@@ -556,6 +570,7 @@ func (n *Node) relayBlobs(r *wire.Response, now time.Duration) {
 				continue
 			}
 			if lq.Bloom != nil && !lq.Bloom.Overloaded() && lq.Bloom.Contains(key) {
+				n.tr.BloomSuppress(qid, key)
 				continue
 			}
 			if lq.Bloom != nil {
@@ -585,6 +600,7 @@ func (n *Node) relayBlobs(r *wire.Response, now time.Duration) {
 		Blobs:     kept,
 	}
 	n.stats.ResponsesRelayed++
+	n.traceRelay(fwd, r.ID, len(kept))
 	n.transmit(&wire.Message{Type: wire.TypeResponse, Response: fwd})
 }
 

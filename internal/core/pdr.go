@@ -172,6 +172,7 @@ func (r *retrieval) startCDIRound() {
 		Item:   r.item,
 	}
 	n.lqt.Insert(q, now+q.TTL)
+	n.tr.QueryStart(q.ID, r.rounds, q.Kind.String())
 	n.transmit(&wire.Message{Type: wire.TypeQuery, Query: q})
 }
 
@@ -317,7 +318,7 @@ func (r *retrieval) topUp(now time.Duration) {
 		budget = len(eligible)
 	}
 	batch := eligible[:budget]
-	sent := n.sendChunkQueries(r.item, batch, n.id, 0)
+	sent := n.sendChunkQueries(r.item, batch, n.id, 0, 0)
 	if len(sent) == 0 {
 		return // no routes: leave the watchdog to trigger a CDI round
 	}
@@ -450,6 +451,7 @@ func (n *Node) respondCDI(q *wire.Query) {
 		CDI:       pairs,
 	}
 	n.stats.ResponsesSent++
+	n.traceServe(r, len(pairs))
 	n.sendJittered(&wire.Message{Type: wire.TypeResponse, Response: r}, n.cfg.ResponseJitterMax)
 }
 
@@ -468,6 +470,7 @@ func (n *Node) relayCDI(r *wire.Response, now time.Duration) {
 		if lq.Query.Origin == n.id {
 			continue
 		}
+		n.tr.LQMatch(r.ID, qid)
 		recv[lq.Query.Sender] = true
 		serves[wire.Serve{Node: lq.Query.Sender, QueryID: qid}] = true
 	}
@@ -488,6 +491,7 @@ func (n *Node) relayCDI(r *wire.Response, now time.Duration) {
 		CDI:       pairs,
 	}
 	n.stats.ResponsesRelayed++
+	n.traceRelay(fwd, r.ID, len(pairs))
 	n.transmit(&wire.Message{Type: wire.TypeResponse, Response: fwd})
 }
 
@@ -498,8 +502,10 @@ func (n *Node) relayCDI(r *wire.Response, now time.Duration) {
 // excludes routes via `exclude` (the upstream sender, to avoid
 // ping-pong). Chunks without any route are dropped here; the consumer
 // watchdog re-runs CDI for them. It returns the chunks actually
-// requested, sorted.
-func (n *Node) sendChunkQueries(item attr.Descriptor, chunks []int, origin wire.NodeID, exclude wire.NodeID) []int {
+// requested, sorted. parentQID is the incoming chunk query that
+// triggered the recursion (0 at the consumer), recorded with each
+// sub-query's assignment vector in the trace.
+func (n *Node) sendChunkQueries(item attr.Descriptor, chunks []int, origin wire.NodeID, exclude wire.NodeID, parentQID uint64) []int {
 	if len(chunks) == 0 {
 		return nil
 	}
@@ -547,6 +553,12 @@ func (n *Node) sendChunkQueries(item attr.Descriptor, chunks []int, origin wire.
 			ChunkIDs:  res.ByNeighbor[nb],
 		}
 		n.stats.SubQueriesSent++
+		if parentQID == 0 {
+			// Consumer-originated chunk query: a root in the trace's
+			// message tree, like a discovery round.
+			n.tr.QueryStart(q.ID, 0, q.Kind.String())
+		}
+		n.tr.SubQuery(q.ID, parentQID, nb, res.ByNeighbor[nb])
 		sent = append(sent, res.ByNeighbor[nb]...)
 		n.transmit(&wire.Message{Type: wire.TypeQuery, Query: q})
 	}
@@ -610,7 +622,7 @@ func (n *Node) handleChunkQuery(q *wire.Query) {
 
 	// Recurse first (sub-queries are small; chunk payloads would delay
 	// them in the pacing queue).
-	n.sendChunkQueries(q.Item, missing, q.Origin, q.Sender)
+	n.sendChunkQueries(q.Item, missing, q.Origin, q.Sender, q.ID)
 
 	// Serve held chunks, one response message per chunk (§VI-A: 256 KB
 	// chunks transmit as a unit).
@@ -628,6 +640,10 @@ func (n *Node) handleChunkQuery(q *wire.Query) {
 			Blobs:     []wire.Blob{{Desc: q.Item.WithChunk(c), Payload: payload}},
 		}
 		n.stats.ResponsesSent++
+		// Chunk responses carry no Serves bindings (the chunk plane
+		// routes via lingering-query wanted sets), so the serve edge is
+		// recorded against the incoming query directly.
+		n.tr.RespServe(r.ID, q.ID, 1)
 		n.transmit(&wire.Message{Type: wire.TypeResponse, Response: r})
 	}
 }
@@ -652,6 +668,7 @@ func (n *Node) relayChunks(r *wire.Response, now time.Duration) {
 			// Consume: this lingering query no longer waits for cid.
 			lq.Query.ChunkIDs = append(lq.Query.ChunkIDs[:idx], lq.Query.ChunkIDs[idx+1:]...)
 			if lq.Query.Origin != n.id {
+				n.tr.LQMatch(r.ID, lq.Query.ID)
 				recv[lq.Query.Sender] = true
 			}
 		}
@@ -667,6 +684,7 @@ func (n *Node) relayChunks(r *wire.Response, now time.Duration) {
 			Blobs:     []wire.Blob{b},
 		}
 		n.stats.ResponsesRelayed++
+		n.tr.RespRelay(fwd.ID, r.ID, 1)
 		n.transmit(&wire.Message{Type: wire.TypeResponse, Response: fwd})
 	}
 }

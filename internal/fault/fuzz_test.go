@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePlan hammers the fault-plan grammar with arbitrary strings:
+// parsing must never panic, accepted plans must contain only valid
+// event kinds with their grammar-enforced fields, and parsing must be
+// deterministic (the parser is pure — same spec, same plan).
+func FuzzParsePlan(f *testing.F) {
+	f.Add("crash:45@30s+20s")
+	f.Add("burst@10s+60s:0.4,2s,10s")
+	f.Add("corrupt@5s+30s:0.1")
+	f.Add("dup@1s:0.05")
+	f.Add("depart:3@1m")
+	f.Add("crash:45@30s+20s;burst@10s:0.4;;corrupt@5s:0.1")
+	f.Add("")
+	f.Add(" ; ; ")
+	f.Add("crash:45")
+	f.Add("burst@10s")
+	f.Add("crash:-1@30s")
+	f.Add("dup:7@1s:0.05")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			// A rejected spec must reject identically on re-parse.
+			if _, err2 := ParsePlan(spec); err2 == nil {
+				t.Fatalf("spec %q: rejected once (%v), accepted on re-parse", spec, err)
+			}
+			return
+		}
+		for i, ev := range p.Events {
+			switch ev.Kind {
+			case Crash, Depart, Burst, Corrupt, Duplicate:
+			default:
+				t.Fatalf("spec %q: event %d has invalid kind %d", spec, i, ev.Kind)
+			}
+			if ev.Kind != Crash && ev.Kind != Depart && ev.Node != 0 {
+				t.Fatalf("spec %q: event %d: %s carries a node id", spec, i, ev.Kind)
+			}
+			if ev.Kind != Crash && ev.Downtime != 0 {
+				t.Fatalf("spec %q: event %d: %s carries a downtime", spec, i, ev.Kind)
+			}
+			if (ev.Kind == Corrupt || ev.Kind == Duplicate) && ev.Rate == 0 {
+				// The grammar requires :<rate>; zero can only appear if
+				// the user wrote 0, which ParseFloat accepts — allowed.
+				_ = ev
+			}
+		}
+		p2, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("spec %q: accepted once, rejected on re-parse: %v", spec, err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("spec %q: re-parse differs:\n  %+v\n  %+v", spec, p, p2)
+		}
+	})
+}

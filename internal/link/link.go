@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pds/internal/clock"
+	"pds/internal/trace"
 	"pds/internal/wire"
 )
 
@@ -164,8 +165,15 @@ type Link struct {
 	// retransmissions with the message and still-unacked receivers.
 	OnGiveUp func(msg *wire.Message, unacked []wire.NodeID)
 
+	// tr records link-plane trace events; nil (the default) is free.
+	tr *trace.NodeTracer
+
 	stats Stats
 }
+
+// SetTracer installs a node-bound tracer for link events (fragmenting,
+// retransmissions, reassembly, give-ups). A nil tracer disables them.
+func (l *Link) SetTracer(tr *trace.NodeTracer) { l.tr = tr }
 
 // New returns a link layer for node self sending through raw.
 func New(clk clock.Clock, self wire.NodeID, raw RawSender, cfg Config) *Link {
@@ -221,6 +229,7 @@ func (l *Link) sendFragmented(msg *wire.Message, size int) {
 		unacked:   make(map[wire.NodeID]bool),
 	}
 	l.stats.Fragmented++
+	l.tr.Fragment(msg, job.origID, job.count, size)
 	l.fragJobs = append(l.fragJobs, job)
 	l.pumpJobs()
 }
@@ -279,6 +288,7 @@ func (l *Link) finishJob(job *fragJob) {
 	l.activeJob = nil
 	if job.aborted {
 		l.stats.GiveUps++
+		l.tr.GiveUp(job.whole, len(job.unacked))
 		if l.OnGiveUp != nil {
 			unacked := make([]wire.NodeID, 0, len(job.unacked))
 			for id := range job.unacked {
@@ -471,6 +481,7 @@ func (l *Link) retry(p *pending) {
 			return
 		}
 		l.stats.GiveUps++
+		l.tr.GiveUp(p.msg, len(p.remaining))
 		if l.OnGiveUp != nil {
 			unacked := make([]wire.NodeID, 0, len(p.remaining))
 			for id := range p.remaining {
@@ -482,6 +493,7 @@ func (l *Link) retry(p *pending) {
 	}
 	p.attempts++
 	l.stats.Retransmissions++
+	l.tr.Retransmit(p.msg, p.attempts, len(p.remaining))
 	switch p.msg.Type {
 	case wire.TypeQuery:
 		l.stats.RetxQueries++
@@ -615,6 +627,7 @@ func (l *Link) reassemble(f *wire.Fragment, now time.Duration) *wire.Message {
 	r.delivered = true
 	l.stats.Reassembled++
 	if r.whole != nil {
+		l.tr.Reassembled(r.whole, f.OrigID, r.count)
 		// Virtual path: hand up the shared original. Every receiver's
 		// fragments reference the same published message, and published
 		// messages are read-only end to end (wire.Message ownership
@@ -643,6 +656,7 @@ func (l *Link) reassemble(f *wire.Fragment, now time.Duration) *wire.Message {
 		l.stats.ReasmErrors++
 		return nil
 	}
+	l.tr.Reassembled(decoded, f.OrigID, r.count)
 	return decoded
 }
 

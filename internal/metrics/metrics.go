@@ -33,14 +33,14 @@ type Sample struct {
 type FaultCounters struct {
 	// BurstsEntered counts Gilbert–Elliott transitions into the bad
 	// (bursty-loss) channel state.
-	BurstsEntered uint64
+	BurstsEntered uint64 `json:"bursts_entered"`
 	// Crashes counts node crash events.
-	Crashes uint64
+	Crashes uint64 `json:"crashes"`
 	// CorruptFrames counts frames delivered damaged and discarded.
-	CorruptFrames uint64
+	CorruptFrames uint64 `json:"corrupt_frames"`
 	// BlacklistHits counts routing decisions that skipped a blacklisted
 	// neighbor.
-	BlacklistHits uint64
+	BlacklistHits uint64 `json:"blacklist_hits"`
 }
 
 // Any reports whether any fault was injected or reacted to.
@@ -66,12 +66,21 @@ func Mean(samples []Sample) Sample {
 		lat += float64(s.Latency)
 		out.OverheadBytes += s.OverheadBytes
 		out.Rounds += s.Rounds
+		out.Faults.BurstsEntered += s.Faults.BurstsEntered
+		out.Faults.Crashes += s.Faults.Crashes
+		out.Faults.CorruptFrames += s.Faults.CorruptFrames
+		out.Faults.BlacklistHits += s.Faults.BlacklistHits
 	}
 	n := float64(len(samples))
 	out.Recall /= n
 	out.Latency = time.Duration(lat / n)
 	out.OverheadBytes = uint64(float64(out.OverheadBytes) / n)
 	out.Rounds /= n
+	un := uint64(len(samples))
+	out.Faults.BurstsEntered /= un
+	out.Faults.Crashes /= un
+	out.Faults.CorruptFrames /= un
+	out.Faults.BlacklistHits /= un
 	return out
 }
 

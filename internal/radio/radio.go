@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"pds/internal/sim"
+	"pds/internal/trace"
 	"pds/internal/wire"
 )
 
@@ -207,6 +208,10 @@ type Medium struct {
 	// fate decision (burst loss, corruption, duplication). Package fault
 	// provides a seeded implementation.
 	Channel ChannelModel
+	// Tracer, when set, records per-frame events (tx with airtime, and
+	// the per-receiver fate: rx/lost/collision/corrupt/dup). A nil
+	// tracer costs nothing on these paths.
+	Tracer *trace.Tracer
 }
 
 // NewMedium creates a medium on the engine.
@@ -402,6 +407,7 @@ func (r *Radio) Send(msg *wire.Message) bool {
 	if r.queuedBytes+size > r.m.cfg.OSBufferBytes {
 		r.SentDrop++
 		r.m.stats.BufferDrops++
+		r.m.Tracer.BufferDrop(r.id, msg, size)
 		return false
 	}
 	fr := queuedFrame{msg: msg, size: size}
@@ -490,6 +496,7 @@ func (r *Radio) transmitIfClear() {
 	if m.OnTransmit != nil {
 		m.OnTransmit(r.id, fr.msg, fr.size)
 	}
+	m.Tracer.FrameTx(r.id, fr.msg, fr.size, dur)
 
 	m.eng.Schedule(dur, func() {
 		r.transmitting = false
@@ -529,6 +536,7 @@ func (m *Medium) finishTransmission(rec txRecord, msg *wire.Message) {
 			}
 			if m.collided(rec, rx, sender) {
 				m.stats.Collisions++
+				m.Tracer.Frame(trace.FrameCollision, id, rec.from, msg)
 				continue
 			}
 			copies := 1
@@ -536,18 +544,22 @@ func (m *Medium) finishTransmission(rec txRecord, msg *wire.Message) {
 				switch m.Channel.Fate(rec.from, id, m.eng.Now()) {
 				case FateLost:
 					m.stats.RandomLosses++
+					m.Tracer.Frame(trace.FrameLost, id, rec.from, msg)
 					continue
 				case FateCorrupt:
 					// The MAC CRC rejects the damaged frame at the
 					// receiver; upper layers never see it.
 					m.stats.CorruptFrames++
+					m.Tracer.Frame(trace.FrameCorrupt, id, rec.from, msg)
 					continue
 				case FateDuplicate:
 					m.stats.DupFrames++
+					m.Tracer.Frame(trace.FrameDup, id, rec.from, msg)
 					copies = 2
 				}
 			} else if m.cfg.BaseLoss > 0 && m.eng.Rand().Float64() < m.cfg.BaseLoss {
 				m.stats.RandomLosses++
+				m.Tracer.Frame(trace.FrameLost, id, rec.from, msg)
 				continue
 			}
 			for c := 0; c < copies; c++ {
@@ -556,6 +568,7 @@ func (m *Medium) finishTransmission(rec txRecord, msg *wire.Message) {
 				if m.OnDeliver != nil {
 					m.OnDeliver(rec.from, id, msg)
 				}
+				m.Tracer.Frame(trace.FrameRx, id, rec.from, msg)
 				if rx.deliver != nil {
 					// One shared frame for every receiver: a broadcast
 					// puts the same bits on the air for everyone, and

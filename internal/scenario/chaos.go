@@ -160,6 +160,29 @@ func FlashCrowdChurn(seed int64, entries int) ChaosReport {
 	return rep
 }
 
+// ChaosSeries reduces the three chaos scenarios to one metric row each
+// (averaged over runs), fault counters included, so pds-bench -json
+// rows record how much damage each run absorbed alongside what it still
+// delivered.
+func ChaosSeries(seed int64, runs int) *metrics.Series {
+	s := &metrics.Series{Name: "chaos scenarios"}
+	scenarios := []struct {
+		name string
+		run  func(seed int64) ChaosReport
+	}{
+		{"crash-the-hub", func(sd int64) ChaosReport { return CrashTheHub(sd, 2<<20) }},
+		{"flash-crowd-churn", func(sd int64) ChaosReport { return FlashCrowdChurn(sd, 2000) }},
+		{"corrupt-10pct", func(sd int64) ChaosReport { return CorruptTenPercent(sd, 2000) }},
+	}
+	for i, sc := range scenarios {
+		samples := parMap(runs, func(r int) metrics.Sample {
+			return sc.run(seed + int64(r)*101).Sample
+		})
+		s.Add(float64(i+1), sc.name, metrics.Mean(samples))
+	}
+	return s
+}
+
 // CorruptTenPercent runs a PDD discovery while 10% of all delivered
 // frames arrive damaged (and are discarded by the MAC CRC) and another
 // 2% arrive twice, exercising loss recovery and every dedup layer at

@@ -17,6 +17,7 @@ import (
 	"pds/internal/mobility"
 	"pds/internal/radio"
 	"pds/internal/sim"
+	"pds/internal/trace"
 	"pds/internal/wire"
 )
 
@@ -74,6 +75,37 @@ type Deployment struct {
 	opts   Options
 	seed   int64
 	pinned map[wire.NodeID]bool
+	tracer *trace.Tracer
+}
+
+// EnableTracing attaches a hop-level event tracer to the whole
+// deployment: the medium records frame fates and every existing or
+// later-added peer records link/protocol/store events. perNodeCap
+// bounds each node's ring (<= 0 selects trace.DefaultPerNodeCap). The
+// tracer reads only the engine clock — never its RNG — so a traced run
+// produces exactly the metric rows of an untraced one.
+func (d *Deployment) EnableTracing(perNodeCap int) *trace.Tracer {
+	if d.tracer == nil {
+		d.tracer = trace.New(d.Eng.Now, perNodeCap)
+		d.Medium.Tracer = d.tracer
+		for _, id := range d.sortedPeerIDs() {
+			d.wireTracer(d.Peers[id])
+		}
+	}
+	return d.tracer
+}
+
+// Tracer returns the deployment's tracer, nil when tracing is off.
+func (d *Deployment) Tracer() *trace.Tracer { return d.tracer }
+
+// wireTracer installs the deployment tracer into one peer's layers.
+func (d *Deployment) wireTracer(p *Peer) {
+	if d.tracer == nil {
+		return
+	}
+	nt := d.tracer.ForNode(p.ID)
+	p.Link.SetTracer(nt)
+	p.Node.SetTracer(nt)
 }
 
 // New creates an empty deployment.
@@ -105,6 +137,7 @@ func (d *Deployment) AddPeer(id wire.NodeID, pos radio.Pos) *Peer {
 	p.Radio.OnTransmitted = p.Link.NotifyTransmitted
 	p.Node = core.NewNode(id, d.Eng, rng, func(msg *wire.Message) { p.Link.Send(msg) }, d.opts.Core)
 	p.Link.OnGiveUp = p.Node.OnSendFailure
+	d.wireTracer(p)
 	d.Peers[id] = p
 	return p
 }

@@ -89,6 +89,7 @@ func (s *DataStore) evictOne() bool {
 	s.cacheOrder = append(s.cacheOrder[:i], s.cacheOrder[i+1:]...)
 	if p, ok := s.payloads[key]; ok && !s.ownedKeys[key] {
 		s.cachedBytes -= len(p)
+		s.tr.CacheEvict(key, len(p))
 		delete(s.payloads, key)
 		if e, ok := s.entries[key]; ok {
 			s.unindexChunk(e.Desc)

@@ -6,6 +6,7 @@ import (
 
 	"pds/internal/attr"
 	"pds/internal/bloom"
+	"pds/internal/trace"
 	"pds/internal/wire"
 )
 
@@ -57,12 +58,18 @@ func (lq *LingeringQuery) MarkForwarded(key string) {
 // unique id; redundant copies are detected and dropped.
 type LQT struct {
 	queries map[uint64]*LingeringQuery
+	// tr records LQT insert/expire trace events; nil is free.
+	tr *trace.NodeTracer
 }
 
 // NewLQT returns an empty table.
 func NewLQT() *LQT {
 	return &LQT{queries: make(map[uint64]*LingeringQuery)}
 }
+
+// SetTracer installs a node-bound tracer for LQT events. A nil tracer
+// disables them.
+func (t *LQT) SetTracer(tr *trace.NodeTracer) { t.tr = tr }
 
 // Exists reports whether an unexpired query with the id lingers.
 func (t *LQT) Exists(id uint64, now time.Duration) bool {
@@ -82,6 +89,7 @@ func (t *LQT) Insert(q *wire.Query, expireAt time.Duration) *LingeringQuery {
 		lq.Bloom = q.Bloom.Clone()
 	}
 	t.queries[q.ID] = lq
+	t.tr.LQTInsert(q.ID)
 	return lq
 }
 
@@ -161,6 +169,7 @@ func (t *LQT) Expire(now time.Duration) int {
 	for id, lq := range t.queries {
 		if lq.ExpireAt <= now {
 			delete(t.queries, id)
+			t.tr.LQTExpire(id)
 			n++
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pds/internal/attr"
+	"pds/internal/trace"
 )
 
 // Entry is one metadata entry in the data store (§II-C): a descriptor
@@ -50,7 +51,13 @@ type DataStore struct {
 	accessClock uint64
 	lastAccess  map[string]uint64
 	accessCount map[string]uint64
+	// tr records cache insert/evict trace events; nil is free.
+	tr *trace.NodeTracer
 }
+
+// SetTracer installs a node-bound tracer for cache events. A nil tracer
+// disables them.
+func (s *DataStore) SetTracer(tr *trace.NodeTracer) { s.tr = tr }
 
 // NewDataStore returns an empty store. cacheCap bounds cached payload
 // bytes (0 = unlimited).
@@ -83,6 +90,7 @@ func (s *DataStore) PutCached(d attr.Descriptor, expireAt time.Duration) bool {
 		return false
 	}
 	s.entries[key] = Entry{Desc: d, ExpireAt: expireAt}
+	s.tr.CacheInsert(key, 0)
 	return true
 }
 
@@ -222,6 +230,7 @@ func (s *DataStore) PutPayloadCached(d attr.Descriptor, payload []byte, expireAt
 	s.payloads[key] = payload
 	s.cachedBytes += len(payload)
 	s.cacheOrder = append(s.cacheOrder, key)
+	s.tr.CacheInsert(key, len(payload))
 	s.indexChunk(d, key)
 	s.PutCached(d, expireAt)
 	return true

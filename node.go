@@ -10,6 +10,7 @@ import (
 	"pds/internal/clock"
 	"pds/internal/core"
 	"pds/internal/link"
+	"pds/internal/trace"
 	"pds/internal/wire"
 )
 
@@ -32,11 +33,12 @@ type Transport interface {
 // transport and the wall clock. All methods are safe for concurrent
 // use.
 type Node struct {
-	id    NodeID
-	clk   *clock.Real
-	core  *core.Node
-	link  *link.Link
-	trans Transport
+	id     NodeID
+	clk    *clock.Real
+	core   *core.Node
+	link   *link.Link
+	trans  Transport
+	tracer *trace.Tracer
 }
 
 // NodeOption configures NewNode.
@@ -49,6 +51,8 @@ type nodeOptions struct {
 	seed     int64
 	seedSet  bool
 	cacheCap int
+	tracing  bool
+	traceCap int
 }
 
 // WithNodeID sets the node id; default is randomly drawn. IDs must be
@@ -75,6 +79,13 @@ func WithSeed(seed int64) NodeOption {
 // WithCacheCap bounds cached payload bytes (0 = unlimited).
 func WithCacheCap(capBytes int) NodeOption {
 	return func(o *nodeOptions) { o.cacheCap = capBytes }
+}
+
+// WithTracing enables hop-level event tracing (link and protocol
+// planes) with the given per-node ring capacity (<= 0 selects the
+// default). Read the events via Tracer.
+func WithTracing(perNodeCap int) NodeOption {
+	return func(o *nodeOptions) { o.tracing = true; o.traceCap = perNodeCap }
 }
 
 // NewNode creates a real-time node on the transport.
@@ -112,6 +123,12 @@ func NewNode(trans Transport, opts ...NodeOption) (*Node, error) {
 	n.link = link.New(clk, o.id, func(m *wire.Message) bool { return trans.Send(m) }, lcfg)
 	n.core = core.NewNode(o.id, clk, rng, func(m *wire.Message) { n.link.Send(m) }, o.cfg)
 	n.link.OnGiveUp = n.core.OnSendFailure
+	if o.tracing {
+		n.tracer = trace.New(clk.Now, o.traceCap)
+		nt := n.tracer.ForNode(o.id)
+		n.link.SetTracer(nt)
+		n.core.SetTracer(nt)
+	}
 	trans.SetReceiver(func(m *wire.Message) {
 		clk.Locked(func() {
 			if up := n.link.HandleIncoming(m); up != nil {
@@ -124,6 +141,11 @@ func NewNode(trans Transport, opts ...NodeOption) (*Node, error) {
 
 // ID returns the node id.
 func (n *Node) ID() NodeID { return n.id }
+
+// Tracer returns the node's event tracer, nil unless WithTracing was
+// given. The tracer is safe for concurrent use; dump recent events
+// with its WriteJSONL.
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // Close stops the node and its transport.
 func (n *Node) Close() error {
