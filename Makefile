@@ -1,6 +1,8 @@
 GO ?= go
+BENCH_RUNS ?= 3
+BENCH_SIZE ?= 2
 
-.PHONY: build test verify fuzz
+.PHONY: build test verify fuzz bench
 
 build:
 	$(GO) build ./...
@@ -18,8 +20,17 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./...
 
-# fuzz runs short bursts of the two decode fuzzers (the codec and the
-# datagram framing above it).
+# fuzz runs short bursts of the decode fuzzers: the codec, the datagram
+# framing above it, and the persistent store's record framing below it.
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/udptransport -fuzz FuzzDecodeDatagram -fuzztime 30s
+	$(GO) test ./internal/diskstore -fuzz FuzzSegmentDecode -fuzztime 30s
+
+# bench regenerates every figure with machine-readable output in
+# BENCH_PDS.json (wall time and allocation counters per figure), plus
+# the diskstore micro-benchmarks. Override BENCH_RUNS / BENCH_SIZE for
+# quicker or heavier sweeps.
+bench:
+	$(GO) run ./cmd/pds-bench -json -runs $(BENCH_RUNS) -size $(BENCH_SIZE) all
+	$(GO) test ./internal/diskstore -run '^$$' -bench . -benchmem

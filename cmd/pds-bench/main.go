@@ -8,7 +8,7 @@
 //
 // where <figure> is one of: fig3, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig9class, fig11, fig12, fig12class, fig13, fig15, fig16, saturation,
-// leaky, ack, ablation, balance, cache, chaos, all.
+// leaky, ack, ablation, balance, cache, chaos, disk, all.
 //
 // With -json, machine-readable results — every metric row plus wall
 // time and allocation counters per figure — are also written to
@@ -62,6 +62,7 @@ type jsonPoint struct {
 	OverheadBytes uint64                 `json:"overhead_bytes"`
 	Rounds        float64                `json:"rounds,omitempty"`
 	Faults        *metrics.FaultCounters `json:"faults,omitempty"`
+	Disk          *metrics.DiskCounters  `json:"disk,omitempty"`
 }
 
 // jsonSeries is one figure line.
@@ -108,6 +109,7 @@ func toJSONSeries(series []*metrics.Series) []jsonSeries {
 				f := p.Sample.Faults
 				jp.Faults = &f
 			}
+			jp.Disk = p.Sample.Disk
 			js.Points = append(js.Points, jp)
 		}
 		out = append(out, js)
@@ -227,6 +229,14 @@ func run(args []string) error {
 		}, tables: []string{"recall", "latency", "overhead"}},
 		{name: "chaos", desc: "Chaos scenarios: crash-the-hub / flash-crowd-churn / corrupt-10pct", run: func() []*metrics.Series {
 			return []*metrics.Series{scenario.ChaosSeries(*seed, *runs)}
+		}},
+		{name: "disk", desc: "Disk-backed crash recovery (persistent chunk store)", run: func() []*metrics.Series {
+			root, err := os.MkdirTemp("", "pds-disk-bench-")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(root)
+			return []*metrics.Series{scenario.DiskSeries(*seed, *runs, root)}
 		}},
 	}
 

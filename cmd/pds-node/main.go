@@ -15,6 +15,11 @@
 //	pds-node -listen 127.0.0.1:9701 -peers 9701,9702,9703 -share go.mod -name go.mod -stay 5m
 //	pds-node -listen 127.0.0.1:9702 -peers 9701,9702,9703 -discover
 //	pds-node -listen 127.0.0.1:9703 -peers 9701,9702,9703 -fetch go.mod -out /tmp/got.mod
+//
+//	# persistent sharing: -data-dir keeps published data on disk, so a
+//	# killed node comes back serving everything it had shared
+//	pds-node -port 9753 -data-dir ./pds-data -share ./sunset.jpg -name sunset.jpg -stay 10m
+//	pds-node -port 9753 -data-dir ./pds-data -stay 10m   # after restart
 package main
 
 import (
@@ -55,6 +60,10 @@ func run(args []string) error {
 	stay := fs.Duration("stay", time.Minute, "how long to keep serving after -share")
 	timeout := fs.Duration("timeout", 2*time.Minute, "discovery/retrieval budget")
 	id := fs.Uint("id", 0, "node id (0 = random)")
+	dataDir := fs.String("data-dir", "",
+		"persist owned data in a crash-safe store under this directory; a restarted node serves everything it had published")
+	persistCache := fs.Bool("persist-cache", false,
+		"with -data-dir: keep cached third-party payloads across restarts too")
 	debugAddr := fs.String("debug-addr", "",
 		"serve expvar, pprof and a /debug/trace recent-events dump on this HTTP address, e.g. 127.0.0.1:6060")
 	if err := fs.Parse(args); err != nil {
@@ -90,12 +99,25 @@ func run(args []string) error {
 	if *debugAddr != "" {
 		opts = append(opts, pds.WithTracing(0))
 	}
+	if *dataDir != "" {
+		opts = append(opts, pds.WithDataDir(*dataDir))
+		if *persistCache {
+			opts = append(opts, pds.WithPersistentCache())
+		}
+	} else if *persistCache {
+		return fmt.Errorf("-persist-cache requires -data-dir")
+	}
 	node, err := pds.NewNode(trans, opts...)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
 	fmt.Printf("node %d up\n", node.ID())
+	if st, ok := node.DiskStats(); ok {
+		fmt.Printf("data dir %s: %d records recovered in %v (%d skipped)\n",
+			*dataDir, st.LastRecovery.Records, st.LastRecovery.Duration.Round(time.Millisecond),
+			st.LastRecovery.SkippedRecords)
+	}
 
 	if *debugAddr != "" {
 		srv := debugServer(*debugAddr, node)
@@ -170,6 +192,20 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *dataDir != "" {
+		// Restart mode: no new action, but a data dir full of previously
+		// published items — serve them, exactly as before the restart.
+		if st, ok := node.DiskStats(); ok && st.LiveRecords > 0 {
+			fmt.Printf("serving %d restored records for %v\n", st.LiveRecords, *stay)
+			select {
+			case <-time.After(*stay):
+			case <-sigCtx.Done():
+				fmt.Println("interrupted; shutting down")
+			}
+			return nil
+		}
+	}
+
 	fmt.Println("nothing to do: pass -share, -discover or -fetch")
 	return nil
 }
@@ -180,6 +216,12 @@ func run(args []string) error {
 // JSONL — the same format pds-trace analyzes.
 func debugServer(addr string, node *pds.Node) *http.Server {
 	expvar.Publish("pds_stats", expvar.Func(func() any { return node.Stats() }))
+	if _, ok := node.DiskStats(); ok {
+		expvar.Publish("pds_diskstore", expvar.Func(func() any {
+			st, _ := node.DiskStats()
+			return st
+		}))
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -139,7 +139,7 @@ func TestCrashWipesVolatileStateRestartRecovers(t *testing.T) {
 	cachedEntry := testEntry(1)
 	n.ds.PutCached(cachedEntry, now+time.Minute)
 	cachedPayload := testEntry(2)
-	n.ds.PutPayloadCached(cachedPayload, []byte("volatile"), now+time.Minute)
+	n.ds.PutPayloadCached(cachedPayload, []byte("volatile"), now, now+time.Minute)
 	n.cdi.Update("item", store.CDIEntry{ChunkID: 0, HopCount: 1, Neighbor: 2, ExpireAt: now + time.Minute})
 	n.lqt.Insert(&wire.Query{ID: 42, Kind: wire.KindMetadata, TTL: time.Minute, Sender: 2, Origin: 2}, now+time.Minute)
 	n.health.recordFailure(9, now)

@@ -296,7 +296,7 @@ func (n *Node) Crash() {
 	}
 	n.discSessions = nil
 	n.servePending = nil
-	n.ds.WipeCached()
+	n.ds.PowerOff()
 	n.cdi = store.NewCDITable()
 	n.lqt = store.NewLQT()
 	// The recreated table must keep tracing: a restarted node's
@@ -306,15 +306,29 @@ func (n *Node) Crash() {
 	n.health.reset()
 }
 
-// Restart powers a crashed node back on with only its owned data. The
-// caller (the deployment) must also reset the link layer and re-attach
-// the radio.
+// Restart powers a crashed node back on with only its owned data. With
+// a durable backend attached the store replays surviving records from
+// disk first (owned data exactly, persisted cached payloads as spilled
+// entries with a fresh lease). The caller (the deployment) must also
+// reset the link layer and re-attach the radio.
 func (n *Node) Restart() {
 	if !n.crashed {
 		return
 	}
+	if n.ds.HasBackend() {
+		n.ds.Recover(n.clk.Now(), n.cfg.EntryTTL)
+	}
 	n.crashed = false
 	n.scheduleHousekeeping()
+}
+
+// AttachBackend installs a durable payload tier under the node's store
+// and immediately replays whatever survives in it, so a node opened
+// over an existing data directory comes up with its pre-crash owned
+// data. Attach before the node takes protocol traffic.
+func (n *Node) AttachBackend(b store.PayloadBackend) {
+	n.ds.SetBackend(b)
+	n.ds.Recover(n.clk.Now(), n.cfg.EntryTTL)
 }
 
 // Crashed reports whether the node is currently powered off.

@@ -349,7 +349,7 @@ func (n *Node) cacheResponse(r *wire.Response, now time.Duration) {
 				// stored unconditionally — the opportunistic cache cap
 				// only applies to third-party traffic.
 				n.ds.PutPayloadOwned(b.Desc, b.Payload)
-			} else if n.ds.PutPayloadCached(b.Desc, b.Payload, now+n.cfg.EntryTTL) {
+			} else if n.ds.PutPayloadCached(b.Desc, b.Payload, now, now+n.cfg.EntryTTL) {
 				n.stats.PayloadsCached++
 			}
 		}
@@ -389,7 +389,7 @@ func (n *Node) cacheResponse(r *wire.Response, now time.Duration) {
 				// Chunks of an item this node is actively retrieving are
 				// the retrieval's output, not opportunistic cache.
 				n.ds.PutPayloadOwned(b.Desc, b.Payload)
-			} else if n.ds.PutPayloadCached(b.Desc, b.Payload, now+n.cfg.EntryTTL) {
+			} else if n.ds.PutPayloadCached(b.Desc, b.Payload, now, now+n.cfg.EntryTTL) {
 				n.stats.PayloadsCached++
 			}
 			// Cache the item-level entry too so this node answers

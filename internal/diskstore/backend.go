@@ -1,0 +1,126 @@
+package diskstore
+
+import (
+	"sync/atomic"
+
+	"pds/internal/attr"
+	"pds/internal/trace"
+)
+
+// Backend adapts a Store to the store.PayloadBackend interface:
+// descriptors are serialized into the record's metadata blob with the
+// same binary codec the wire protocol uses, and spill/load/compact/
+// recover activity is emitted on the node's tracer. Disk failures are
+// absorbed and counted — a node cannot act on a failing disk
+// mid-protocol — but PutPayload reports them so a payload that never
+// reached disk is not treated as spilled.
+type Backend struct {
+	s  *Store
+	tr *trace.NodeTracer
+
+	spillWrites atomic.Uint64
+	spillLoads  atomic.Uint64
+	failures    atomic.Uint64
+}
+
+// NewBackend wraps st. The caller keeps ownership of st's lifecycle
+// (Close).
+func NewBackend(st *Store) *Backend {
+	b := &Backend{s: st}
+	st.SetCompactHook(func(segsBefore int, reclaimed int64) {
+		b.tr.StoreCompact(segsBefore, reclaimed)
+	})
+	return b
+}
+
+// Store returns the underlying segment store.
+func (b *Backend) Store() *Store { return b.s }
+
+// SetTracer installs the node tracer; a nil tracer disables emission.
+func (b *Backend) SetTracer(tr *trace.NodeTracer) { b.tr = tr }
+
+// PutEntry records an owned, payload-less metadata entry.
+func (b *Backend) PutEntry(d attr.Descriptor) {
+	meta := d.AppendBinary(nil)
+	if err := b.s.Put(d.Key(), meta, nil, false, true); err != nil {
+		b.failures.Add(1)
+	}
+}
+
+// PutPayload stores payload durably under d's key.
+func (b *Backend) PutPayload(d attr.Descriptor, payload []byte, owned bool) bool {
+	meta := d.AppendBinary(nil)
+	if err := b.s.Put(d.Key(), meta, payload, true, owned); err != nil {
+		b.failures.Add(1)
+		return false
+	}
+	b.spillWrites.Add(1)
+	b.tr.SpillWrite(d.Key(), len(payload), owned)
+	return true
+}
+
+// GetPayload reads the payload stored for key.
+func (b *Backend) GetPayload(key string) ([]byte, bool) {
+	p, ok, err := b.s.Get(key)
+	if err != nil {
+		b.failures.Add(1)
+		return nil, false
+	}
+	if ok {
+		b.spillLoads.Add(1)
+		b.tr.SpillLoad(key, len(p))
+	}
+	return p, ok
+}
+
+// HasPayload reports whether a payload-bearing record exists for key.
+func (b *Backend) HasPayload(key string) bool { return b.s.HasPayload(key) }
+
+// DeletePayload removes the record for key.
+func (b *Backend) DeletePayload(key string) {
+	if err := b.s.Delete(key); err != nil {
+		b.failures.Add(1)
+	}
+}
+
+// WipeCached drops every non-owned record (no-op when the store is
+// configured with a persistent cache tier). Owned records are never
+// touched.
+func (b *Backend) WipeCached() {
+	if err := b.s.WipeCached(); err != nil {
+		b.failures.Add(1)
+	}
+}
+
+// Restore replays every surviving record in key-sorted order, skipping
+// (and counting) records whose descriptor no longer decodes, and
+// emits one StoreRecover event carrying the open-time recovery stats.
+func (b *Backend) Restore(fn func(d attr.Descriptor, payload []byte, hasPayload, owned bool)) {
+	skippedMeta := 0
+	err := b.s.Range(func(key string, meta, payload []byte, hasPayload, owned bool) error {
+		d, _, err := attr.DecodeDescriptor(meta)
+		if err != nil {
+			skippedMeta++
+			return nil
+		}
+		fn(d, payload, hasPayload, owned)
+		return nil
+	})
+	if err != nil || skippedMeta > 0 {
+		b.failures.Add(uint64(skippedMeta))
+		if err != nil {
+			b.failures.Add(1)
+		}
+	}
+	rec := b.s.Stats().LastRecovery
+	b.tr.StoreRecover(rec.Records, rec.SkippedRecords+skippedMeta)
+}
+
+// SpillWrites returns the number of payload records written to disk.
+func (b *Backend) SpillWrites() uint64 { return b.spillWrites.Load() }
+
+// SpillLoads returns the number of payload reads served from disk.
+func (b *Backend) SpillLoads() uint64 { return b.spillLoads.Load() }
+
+// Failures returns the number of absorbed disk errors.
+func (b *Backend) Failures() uint64 { return b.failures.Load() }

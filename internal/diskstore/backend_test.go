@@ -1,0 +1,229 @@
+package diskstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/store"
+)
+
+func desc(i int) attr.Descriptor {
+	return attr.NewDescriptor().
+		Set(attr.AttrNamespace, attr.String("env")).
+		Set(attr.AttrName, attr.String(fmt.Sprintf("d%d", i)))
+}
+
+func openBackend(t *testing.T, dir string, opts Options) *Backend {
+	t.Helper()
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return NewBackend(st)
+}
+
+// Evicting a cached payload with a backend attached is a spill: the
+// bytes leave RAM but keep serving through disk reads.
+func TestEvictionSpillsToDisk(t *testing.T) {
+	b := openBackend(t, t.TempDir(), Options{})
+	s := store.NewDataStore(8)
+	s.SetBackend(b)
+
+	a, bb, c := desc(1), desc(2), desc(3)
+	s.PutPayloadCached(a, []byte{1, 1, 1, 1}, 0, time.Hour)
+	s.PutPayloadCached(bb, []byte{2, 2, 2, 2}, 0, time.Hour)
+	// Third insert evicts a (FIFO) from RAM — but not from disk.
+	if !s.PutPayloadCached(c, []byte{3, 3, 3, 3}, 0, time.Hour) {
+		t.Fatal("third insert refused")
+	}
+	if !s.HasPayload(a) {
+		t.Fatal("spilled payload no longer visible")
+	}
+	p, ok := s.Payload(a)
+	if !ok || !bytes.Equal(p, []byte{1, 1, 1, 1}) {
+		t.Fatalf("spilled payload = %v, %v", p, ok)
+	}
+	if b.SpillLoads() == 0 {
+		t.Fatal("read was not served from disk")
+	}
+	if b.SpillWrites() < 3 {
+		t.Fatalf("SpillWrites = %d, want >= 3", b.SpillWrites())
+	}
+}
+
+// Owned data must survive a power-off byte-for-byte; the volatile cache
+// must not (the paper's crash semantics).
+func TestPowerOffRecoverOwnedSurvivesCacheLost(t *testing.T) {
+	b := openBackend(t, t.TempDir(), Options{})
+	s := store.NewDataStore(64)
+	s.SetBackend(b)
+
+	owned, cached := desc(1), desc(2)
+	ownedBytes := []byte("precious-owned-bytes")
+	s.PutPayloadOwned(owned, ownedBytes)
+	s.PutPayloadCached(cached, []byte("volatile"), 0, time.Hour)
+
+	s.PowerOff()
+	if s.HasPayload(owned) || s.HasEntry(owned, 0) {
+		t.Fatal("power-off left owned data in RAM")
+	}
+	s.Recover(0, time.Hour)
+	p, ok := s.Payload(owned)
+	if !ok || !bytes.Equal(p, ownedBytes) {
+		t.Fatalf("owned payload after recovery = %q, %v", p, ok)
+	}
+	if !s.HasEntry(owned, time.Hour) {
+		t.Fatal("owned entry lost")
+	}
+	if s.HasPayload(cached) {
+		t.Fatal("volatile cached payload survived the crash")
+	}
+}
+
+// With the persistent cache tier enabled, cached payloads come back
+// after a crash as spilled records with a fresh lease.
+func TestPersistentCacheTierSurvivesCrash(t *testing.T) {
+	b := openBackend(t, t.TempDir(), Options{PersistCached: true})
+	s := store.NewDataStore(64)
+	s.SetBackend(b)
+
+	cached := desc(2)
+	s.PutPayloadCached(cached, []byte("sticky"), 0, time.Hour)
+	s.PowerOff()
+	s.Recover(0, time.Hour)
+	p, ok := s.Payload(cached)
+	if !ok || !bytes.Equal(p, []byte("sticky")) {
+		t.Fatalf("persistent cached payload = %q, %v", p, ok)
+	}
+}
+
+// Entry-only owned facts (PublishEntry) survive too.
+func TestOwnedEntryOnlyRecordsSurvive(t *testing.T) {
+	b := openBackend(t, t.TempDir(), Options{})
+	s := store.NewDataStore(0)
+	s.SetBackend(b)
+	d := desc(7)
+	s.PutOwned(d)
+	s.PowerOff()
+	s.Recover(0, time.Hour)
+	if !s.HasEntry(d, time.Hour) {
+		t.Fatal("owned entry-only record lost across crash")
+	}
+	if s.HasPayload(d) {
+		t.Fatal("entry-only record grew a payload")
+	}
+}
+
+// DeleteOwned must reach the durable tier: unpublished data stays gone
+// across a crash.
+func TestDeleteOwnedIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	b := openBackend(t, dir, Options{})
+	s := store.NewDataStore(0)
+	s.SetBackend(b)
+	d := desc(1)
+	s.PutPayloadOwned(d, []byte("short-lived"))
+	s.DeleteOwned(d)
+	s.PowerOff()
+	s.Recover(0, time.Hour)
+	if s.HasEntry(d, 0) || s.HasPayload(d) {
+		t.Fatal("deleted owned record resurrected by recovery")
+	}
+}
+
+// The acceptance-criterion crash test: kill the store mid-append (torn
+// tail on the last segment), reopen a fresh store+DataStore over the
+// same directory, and verify every committed chunk byte-for-byte.
+func TestDataStoreCrashRecoveryTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	b := openBackend(t, dir, Options{})
+	s := store.NewDataStore(0)
+	s.SetBackend(b)
+
+	item := desc(1)
+	chunks := map[int][]byte{}
+	for c := 0; c < 6; c++ {
+		payload := bytes.Repeat([]byte{byte(c + 1)}, 50+c)
+		s.PutPayloadOwned(item.WithChunk(c), payload)
+		chunks[c] = payload
+	}
+	if err := b.Store().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: half a record hits the platter, then power loss.
+	torn := appendRecord(nil, record{
+		Key: "torn", Meta: []byte("m"),
+		Payload:    bytes.Repeat([]byte{0xEE}, 400),
+		HasPayload: true, Owned: true,
+	})
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Reboot: new store over the same directory.
+	b2 := openBackend(t, dir, Options{})
+	s2 := store.NewDataStore(0)
+	s2.SetBackend(b2)
+	s2.Recover(0, time.Hour)
+
+	itemKey := item.Key()
+	for c, want := range chunks {
+		got, ok := s2.ChunkPayload(itemKey, c)
+		if !ok {
+			t.Fatalf("chunk %d lost in crash", c)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d corrupted: %v != %v", c, got, want)
+		}
+	}
+	rec := b2.Store().Stats().LastRecovery
+	if rec.TruncatedBytes != int64(len(torn)/2) {
+		t.Fatalf("TruncatedBytes = %d, want %d", rec.TruncatedBytes, len(torn)/2)
+	}
+}
+
+// Restore skips records whose descriptor no longer decodes instead of
+// failing the whole recovery.
+func TestRestoreSkipsUndecodableMeta(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := desc(1)
+	if err := st.Put(good.Key(), good.AppendBinary(nil), []byte("ok"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("junk-meta", []byte{0xFF, 0xFF, 0xFF}, []byte("x"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	b := openBackend(t, dir, Options{})
+	restored := 0
+	b.Restore(func(d attr.Descriptor, payload []byte, hasPayload, owned bool) {
+		restored++
+		if d.Key() != good.Key() {
+			t.Fatalf("restored unexpected key %q", d.Key())
+		}
+	})
+	if restored != 1 {
+		t.Fatalf("restored %d records, want 1", restored)
+	}
+	if b.Failures() == 0 {
+		t.Fatal("undecodable meta not counted as a failure")
+	}
+}

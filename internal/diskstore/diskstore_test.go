@@ -1,0 +1,365 @@
+package diskstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, key string, payload []byte, owned bool) {
+	t.Helper()
+	if err := s.Put(key, []byte("meta:"+key), payload, payload != nil, owned); err != nil {
+		t.Fatalf("Put(%s): %v", key, err)
+	}
+}
+
+func wantPayload(t *testing.T, s *Store, key string, want []byte) {
+	t.Helper()
+	got, ok, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("Get(%s): %v", key, err)
+	}
+	if !ok {
+		t.Fatalf("Get(%s): missing", key)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Get(%s) = %q, want %q", key, got, want)
+	}
+}
+
+func TestPutGetDeleteReopen(t *testing.T) {
+	dir := t.TempDir()
+	// PersistCached keeps the non-owned record across the reopen so the
+	// test can assert every record class round-trips.
+	s := mustOpen(t, dir, Options{PersistCached: true})
+	mustPut(t, s, "owned", []byte("persistent-bytes"), true)
+	mustPut(t, s, "cached", []byte("volatile-bytes"), false)
+	mustPut(t, s, "entry-only", nil, true)
+	mustPut(t, s, "gone", []byte("doomed"), false)
+	if err := s.Delete("gone"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	wantPayload(t, s, "owned", []byte("persistent-bytes"))
+	if !s.Has("entry-only") || s.HasPayload("entry-only") {
+		t.Fatal("entry-only record should exist without a payload")
+	}
+	if s.Has("gone") {
+		t.Fatal("deleted key still visible")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s = mustOpen(t, dir, Options{PersistCached: true})
+	defer s.Close()
+	wantPayload(t, s, "owned", []byte("persistent-bytes"))
+	wantPayload(t, s, "cached", []byte("volatile-bytes"))
+	if !s.Has("entry-only") {
+		t.Fatal("entry-only lost across reopen")
+	}
+	if s.Has("gone") {
+		t.Fatal("tombstone did not survive reopen")
+	}
+	rec := s.Stats().LastRecovery
+	if rec.Records != 5 { // 4 puts + 1 tombstone replayed
+		t.Fatalf("recovery replayed %d records, want 5", rec.Records)
+	}
+	if rec.SkippedRecords != 0 || rec.TruncatedBytes != 0 {
+		t.Fatalf("clean log reported skips/truncation: %+v", rec)
+	}
+}
+
+func TestLastRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	mustPut(t, s, "k", []byte("v1"), false)
+	mustPut(t, s, "k", []byte("v2"), false)
+	mustPut(t, s, "k", []byte("v3"), true)
+	wantPayload(t, s, "k", []byte("v3"))
+	s.Close()
+
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	wantPayload(t, s, "k", []byte("v3"))
+	st := s.Stats()
+	if st.LiveRecords != 1 {
+		t.Fatalf("LiveRecords = %d, want 1", st.LiveRecords)
+	}
+	if st.DeadBytes == 0 {
+		t.Fatal("superseded versions should count as dead bytes")
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: a record header
+// claims more body than made it to disk. Reopen must recover every
+// committed record byte-for-byte and cut the torn tail off.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	// PersistCached keeps reopen from appending wipe tombstones, so the
+	// truncation can be asserted against raw file sizes.
+	s := mustOpen(t, dir, Options{PersistCached: true})
+	want := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("chunk-%d", i)
+		payload := bytes.Repeat([]byte{byte(i)}, 100+i)
+		mustPut(t, s, key, payload, i%2 == 0)
+		want[key] = payload
+	}
+	s.Close()
+
+	// Append the first 10 bytes of a valid record: a torn write.
+	full := appendRecord(nil, record{
+		Key: "torn", Meta: []byte("m"),
+		Payload:    bytes.Repeat([]byte{0xAB}, 300),
+		HasPayload: true,
+	})
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:10]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore := fileSize(t, path)
+
+	s = mustOpen(t, dir, Options{PersistCached: true})
+	defer s.Close()
+	for key, payload := range want {
+		wantPayload(t, s, key, payload)
+	}
+	if s.Has("torn") {
+		t.Fatal("torn record must not be visible")
+	}
+	rec := s.Stats().LastRecovery
+	if rec.TruncatedBytes != 10 {
+		t.Fatalf("TruncatedBytes = %d, want 10", rec.TruncatedBytes)
+	}
+	if got := fileSize(t, path); got != sizeBefore-10 {
+		t.Fatalf("segment not truncated: %d bytes, want %d", got, sizeBefore-10)
+	}
+	// The truncated tail must be safely appendable again.
+	mustPut(t, s, "after-recovery", []byte("ok"), true)
+	s.Close()
+	s = mustOpen(t, dir, Options{PersistCached: true})
+	defer s.Close()
+	wantPayload(t, s, "after-recovery", []byte("ok"))
+}
+
+// A kill-9'd process must not resurrect its volatile cache: without
+// PersistCached, reopening drops (tombstones) every non-owned record.
+func TestReopenDropsCachedWithoutPersistCached(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	mustPut(t, s, "owned", []byte("keep"), true)
+	mustPut(t, s, "cached", []byte("volatile"), false)
+	s.Close() // no WipeCached: simulates an unclean process death
+
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	wantPayload(t, s, "owned", []byte("keep"))
+	if s.Has("cached") {
+		t.Fatal("volatile cached record survived an unclean restart")
+	}
+}
+
+// TestCorruptRecordSkipped flips a payload bit in a middle record: the
+// scan must skip (and count) exactly that record and keep the rest.
+func TestCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	mustPut(t, s, "before", []byte("aaaa"), true)
+	corruptStart := s.Stats().BytesWritten
+	mustPut(t, s, "victim", bytes.Repeat([]byte{0x11}, 64), true)
+	mustPut(t, s, "after", []byte("zzzz"), true)
+	s.Close()
+
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the victim's body (past its 8-byte header).
+	data[int(corruptStart)+recordHeaderSize+20] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	wantPayload(t, s, "before", []byte("aaaa"))
+	wantPayload(t, s, "after", []byte("zzzz"))
+	if s.Has("victim") {
+		t.Fatal("corrupt record still visible")
+	}
+	rec := s.Stats().LastRecovery
+	if rec.SkippedRecords != 1 {
+		t.Fatalf("SkippedRecords = %d, want 1", rec.SkippedRecords)
+	}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentMaxBytes: 1 << 10, NoAutoCompact: true})
+	payload := bytes.Repeat([]byte{0x7F}, 200)
+	for i := 0; i < 20; i++ {
+		mustPut(t, s, fmt.Sprintf("key-%d", i%4), payload, true) // 5 versions per key
+	}
+	st := s.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", st.Segments)
+	}
+	if st.DeadBytes == 0 {
+		t.Fatal("overwrites should leave dead bytes")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st = s.Stats()
+	if st.DeadBytes != 0 {
+		t.Fatalf("DeadBytes = %d after compaction, want 0", st.DeadBytes)
+	}
+	if st.LiveRecords != 4 {
+		t.Fatalf("LiveRecords = %d, want 4", st.LiveRecords)
+	}
+	for i := 0; i < 4; i++ {
+		wantPayload(t, s, fmt.Sprintf("key-%d", i), payload)
+	}
+	s.Close()
+
+	// Compaction must leave a log that recovers to the same state, and
+	// must actually have removed the dead segment files.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) > 2 {
+		t.Fatalf("%d segment files remain after compaction", len(ents))
+	}
+	s = mustOpen(t, dir, Options{SegmentMaxBytes: 1 << 10})
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		wantPayload(t, s, fmt.Sprintf("key-%d", i), payload)
+	}
+}
+
+func TestAutoCompactTriggers(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentMaxBytes: 1 << 10})
+	defer s.Close()
+	payload := bytes.Repeat([]byte{1}, 128)
+	for i := 0; i < 100; i++ {
+		mustPut(t, s, "hot", payload, false) // everything but the last is dead
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatal("auto-compaction never ran")
+	}
+	wantPayload(t, s, "hot", payload)
+}
+
+func TestWipeCachedKeepsOwned(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	mustPut(t, s, "owned", []byte("keep"), true)
+	mustPut(t, s, "cached-a", []byte("drop"), false)
+	mustPut(t, s, "cached-b", []byte("drop"), false)
+	if err := s.WipeCached(); err != nil {
+		t.Fatalf("WipeCached: %v", err)
+	}
+	wantPayload(t, s, "owned", []byte("keep"))
+	if s.Has("cached-a") || s.Has("cached-b") {
+		t.Fatal("cached records survived WipeCached")
+	}
+	s.Close()
+	// The wipe must persist: tombstones survive reopen.
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	wantPayload(t, s, "owned", []byte("keep"))
+	if s.Has("cached-a") {
+		t.Fatal("cached record resurrected by reopen")
+	}
+}
+
+func TestWipeCachedNoopWithPersistCached(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{PersistCached: true})
+	defer s.Close()
+	mustPut(t, s, "cached", []byte("sticky"), false)
+	if err := s.WipeCached(); err != nil {
+		t.Fatalf("WipeCached: %v", err)
+	}
+	wantPayload(t, s, "cached", []byte("sticky"))
+}
+
+func TestRangeSortedAndComplete(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	for _, k := range []string{"c", "a", "b"} {
+		mustPut(t, s, k, []byte(k+k), k == "a")
+	}
+	var keys []string
+	err := s.Range(func(key string, meta, payload []byte, hasPayload, owned bool) error {
+		keys = append(keys, key)
+		if string(meta) != "meta:"+key {
+			t.Fatalf("meta for %s = %q", key, meta)
+		}
+		if !hasPayload || string(payload) != key+key {
+			t.Fatalf("payload for %s = %q", key, payload)
+		}
+		if owned != (key == "a") {
+			t.Fatalf("owned flag wrong for %s", key)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	if want := []string{"a", "b", "c"}; !equalStrings(keys, want) {
+		t.Fatalf("Range order = %v, want %v", keys, want)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	s.Close()
+	if err := s.Put("k", nil, []byte("v"), true, true); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+	if _, _, err := s.Get("k"); err == nil {
+		t.Fatal("Get on closed store succeeded")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -26,6 +26,57 @@ type Sample struct {
 	// Faults counts the fault events injected into the run (zero for
 	// fault-free experiments).
 	Faults FaultCounters
+	// Disk summarizes persistent-store activity; nil for in-memory
+	// runs, which therefore render byte-identically to runs predating
+	// the disk tier.
+	Disk *DiskCounters
+}
+
+// DiskCounters summarizes one run's persistent chunk-store activity
+// (per-node counters summed over the deployment).
+type DiskCounters struct {
+	// Segments is the total number of live segment files.
+	Segments uint64 `json:"segments"`
+	// LiveBytes / DeadBytes partition the on-disk log.
+	LiveBytes uint64 `json:"live_bytes"`
+	DeadBytes uint64 `json:"dead_bytes"`
+	// BytesWritten is the total bytes appended to the logs.
+	BytesWritten uint64 `json:"bytes_written"`
+	// Compactions counts copy-forward compaction passes.
+	Compactions uint64 `json:"compactions"`
+	// SpillWrites / SpillLoads count payload records written to and
+	// read back from disk.
+	SpillWrites uint64 `json:"spill_writes"`
+	SpillLoads  uint64 `json:"spill_loads"`
+	// RecoveredRecords / SkippedRecords aggregate the recovery scans:
+	// records replayed and corrupt records stepped over.
+	RecoveredRecords uint64 `json:"recovered_records"`
+	SkippedRecords   uint64 `json:"skipped_records"`
+}
+
+// Any reports whether the disk tier saw any activity.
+func (d DiskCounters) Any() bool {
+	return d.BytesWritten > 0 || d.SpillLoads > 0 || d.RecoveredRecords > 0 || d.SkippedRecords > 0
+}
+
+// Add accumulates another counter set (per-node roll-up).
+func (d *DiskCounters) Add(o DiskCounters) {
+	d.Segments += o.Segments
+	d.LiveBytes += o.LiveBytes
+	d.DeadBytes += o.DeadBytes
+	d.BytesWritten += o.BytesWritten
+	d.Compactions += o.Compactions
+	d.SpillWrites += o.SpillWrites
+	d.SpillLoads += o.SpillLoads
+	d.RecoveredRecords += o.RecoveredRecords
+	d.SkippedRecords += o.SkippedRecords
+}
+
+// String renders the counters as a compact row suffix.
+func (d DiskCounters) String() string {
+	return fmt.Sprintf("segs=%d live=%s written=%s compactions=%d spills=%d loads=%d recovered=%d skipped=%d",
+		d.Segments, MB(d.LiveBytes), MB(d.BytesWritten), d.Compactions,
+		d.SpillWrites, d.SpillLoads, d.RecoveredRecords, d.SkippedRecords)
 }
 
 // FaultCounters summarizes injected faults and the recovery machinery's
@@ -61,6 +112,8 @@ func Mean(samples []Sample) Sample {
 	}
 	var out Sample
 	var lat float64
+	var disk DiskCounters
+	diskRuns := uint64(0)
 	for _, s := range samples {
 		out.Recall += s.Recall
 		lat += float64(s.Latency)
@@ -70,6 +123,10 @@ func Mean(samples []Sample) Sample {
 		out.Faults.Crashes += s.Faults.Crashes
 		out.Faults.CorruptFrames += s.Faults.CorruptFrames
 		out.Faults.BlacklistHits += s.Faults.BlacklistHits
+		if s.Disk != nil {
+			disk.Add(*s.Disk)
+			diskRuns++
+		}
 	}
 	n := float64(len(samples))
 	out.Recall /= n
@@ -81,6 +138,18 @@ func Mean(samples []Sample) Sample {
 	out.Faults.Crashes /= un
 	out.Faults.CorruptFrames /= un
 	out.Faults.BlacklistHits /= un
+	if diskRuns > 0 {
+		disk.Segments /= diskRuns
+		disk.LiveBytes /= diskRuns
+		disk.DeadBytes /= diskRuns
+		disk.BytesWritten /= diskRuns
+		disk.Compactions /= diskRuns
+		disk.SpillWrites /= diskRuns
+		disk.SpillLoads /= diskRuns
+		disk.RecoveredRecords /= diskRuns
+		disk.SkippedRecords /= diskRuns
+		out.Disk = &disk
+	}
 	return out
 }
 

@@ -8,12 +8,15 @@ package scenario
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"time"
 
 	"pds/internal/attr"
 	"pds/internal/core"
+	"pds/internal/diskstore"
 	"pds/internal/fault"
 	"pds/internal/link"
+	"pds/internal/metrics"
 	"pds/internal/mobility"
 	"pds/internal/radio"
 	"pds/internal/sim"
@@ -31,6 +34,13 @@ type Options struct {
 	// LinkConfigured marks Link as explicitly provided (a zero
 	// link.Config is a meaningful "everything off" setting).
 	LinkConfigured bool
+	// DataDir, when set, gives every peer a persistent chunk store at
+	// DataDir/node-<id>: owned data survives crash/restart cycles on
+	// disk instead of being held in the crashed node's RAM, and a
+	// restart replays it through the real recovery path. Empty (the
+	// default) keeps peers purely in-memory, byte-identical to runs
+	// before this option existed.
+	DataDir string
 }
 
 func (o Options) withDefaults(eng *sim.Engine) Options {
@@ -65,6 +75,8 @@ type Peer struct {
 	// lastPos remembers where the device was when it crashed, so a
 	// restart re-attaches it in place.
 	lastPos radio.Pos
+	// Disk is the peer's persistent backend, nil without Options.DataDir.
+	Disk *diskstore.Backend
 }
 
 // Deployment is a simulated PDS network.
@@ -138,8 +150,29 @@ func (d *Deployment) AddPeer(id wire.NodeID, pos radio.Pos) *Peer {
 	p.Node = core.NewNode(id, d.Eng, rng, func(msg *wire.Message) { p.Link.Send(msg) }, d.opts.Core)
 	p.Link.OnGiveUp = p.Node.OnSendFailure
 	d.wireTracer(p)
+	if d.opts.DataDir != "" {
+		d.attachDisk(p)
+	}
 	d.Peers[id] = p
 	return p
+}
+
+// nodeDataDir is the per-peer store root under Options.DataDir.
+func (d *Deployment) nodeDataDir(id wire.NodeID) string {
+	return filepath.Join(d.opts.DataDir, fmt.Sprintf("node-%d", id))
+}
+
+// attachDisk opens (or reopens) the peer's persistent store and
+// attaches it under the node's data store, replaying whatever survives
+// in it. Deployments are test/bench harnesses, so a disk that cannot
+// open is a hard setup failure.
+func (d *Deployment) attachDisk(p *Peer) {
+	st, err := diskstore.Open(d.nodeDataDir(p.ID), diskstore.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("scenario: open data dir for node %d: %v", p.ID, err))
+	}
+	p.Disk = diskstore.NewBackend(st)
+	p.Node.AttachBackend(p.Disk)
 }
 
 // Pin exempts a node from trace-driven leave events: the measurement
@@ -160,6 +193,9 @@ func (d *Deployment) RemovePeer(id wire.NodeID) {
 	if p, ok := d.Peers[id]; ok {
 		p.Node.Stop()
 		d.Medium.Detach(id)
+		if p.Disk != nil {
+			p.Disk.Store().Close()
+		}
 		delete(d.Peers, id)
 	}
 }
@@ -181,10 +217,19 @@ func (d *Deployment) CrashPeer(id wire.NodeID) {
 	d.Medium.Detach(id)
 	p.Node.Crash()
 	p.Link.Reset()
+	if p.Disk != nil {
+		// The device's file handles die with it; the restart path must
+		// reopen the directory and replay the log for real.
+		p.Disk.Store().Close()
+		p.Disk = nil
+	}
 }
 
 // RestartPeer powers a crashed peer back on at its crash position with
-// a fresh radio; only owned data survived in its store.
+// a fresh radio; only owned data survived in its store. With a data
+// dir, the peer's diskstore is reopened and its log replayed — the
+// owned data comes back from disk through the recovery scan, not from
+// the scenario's seeding config.
 func (d *Deployment) RestartPeer(id wire.NodeID) {
 	p, ok := d.Peers[id]
 	if !ok || !p.Down {
@@ -198,7 +243,52 @@ func (d *Deployment) RestartPeer(id wire.NodeID) {
 	})
 	p.Radio.OnTransmitted = p.Link.NotifyTransmitted
 	p.Link.SetRawSender(p.Radio.Send)
+	if d.opts.DataDir != "" {
+		d.attachDisk(p)
+	}
 	p.Node.Restart()
+}
+
+// DiskCounters rolls up the persistent-store counters of every peer
+// that currently has an open diskstore; nil for in-memory deployments
+// (so metric rows stay identical to pre-disk builds).
+func (d *Deployment) DiskCounters() *metrics.DiskCounters {
+	var out metrics.DiskCounters
+	found := false
+	for _, id := range d.sortedPeerIDs() {
+		p := d.Peers[id]
+		if p.Disk == nil {
+			continue
+		}
+		found = true
+		st := p.Disk.Store().Stats()
+		out.Add(metrics.DiskCounters{
+			Segments:         uint64(st.Segments),
+			LiveBytes:        uint64(st.LiveBytes),
+			DeadBytes:        uint64(st.DeadBytes),
+			BytesWritten:     st.BytesWritten,
+			Compactions:      st.Compactions,
+			SpillWrites:      p.Disk.SpillWrites(),
+			SpillLoads:       p.Disk.SpillLoads(),
+			RecoveredRecords: uint64(st.LastRecovery.Records),
+			SkippedRecords:   uint64(st.LastRecovery.SkippedRecords),
+		})
+	}
+	if !found {
+		return nil
+	}
+	return &out
+}
+
+// Close releases per-peer resources (open diskstores). Only needed for
+// deployments built with Options.DataDir.
+func (d *Deployment) Close() {
+	for _, id := range d.sortedPeerIDs() {
+		if p := d.Peers[id]; p.Disk != nil {
+			p.Disk.Store().Close()
+			p.Disk = nil
+		}
+	}
 }
 
 // Crash implements fault.Target.

@@ -78,8 +78,11 @@ func (s *DataStore) victim() int {
 	}
 }
 
-// evictOne removes one cached payload according to the policy; it
-// reports whether anything was removed.
+// evictOne removes one cached payload from RAM according to the
+// policy; it reports whether anything was removed. With a backend
+// holding a durable copy, the eviction is a spill: the bytes leave RAM
+// but the entry keeps serving through disk reads, so the policy decides
+// what leaves memory while the backend decides where bytes survive.
 func (s *DataStore) evictOne() bool {
 	i := s.victim()
 	if i < 0 {
@@ -91,7 +94,9 @@ func (s *DataStore) evictOne() bool {
 		s.cachedBytes -= len(p)
 		s.tr.CacheEvict(key, len(p))
 		delete(s.payloads, key)
-		if e, ok := s.entries[key]; ok {
+		if s.backend != nil && s.backend.HasPayload(key) {
+			s.spilled[key] = true
+		} else if e, ok := s.entries[key]; ok {
 			s.unindexChunk(e.Desc)
 		}
 	}

@@ -12,7 +12,7 @@ func fillCache(t *testing.T, policy CachePolicy) *DataStore {
 	s := NewDataStore(12)
 	s.SetCachePolicy(policy)
 	for i := 0; i < 3; i++ {
-		if !s.PutPayloadCached(entry(i), []byte{byte(i), 0, 0, 0}, time.Hour) {
+		if !s.PutPayloadCached(entry(i), []byte{byte(i), 0, 0, 0}, 0, time.Hour) {
 			t.Fatalf("insert %d refused", i)
 		}
 	}
@@ -24,7 +24,7 @@ func TestPolicyFIFO(t *testing.T) {
 	// Access patterns are irrelevant to FIFO.
 	s.Payload(entry(0))
 	s.Payload(entry(0))
-	s.PutPayloadCached(entry(9), []byte{9, 0, 0, 0}, time.Hour)
+	s.PutPayloadCached(entry(9), []byte{9, 0, 0, 0}, 0, time.Hour)
 	if s.HasPayload(entry(0)) {
 		t.Fatal("FIFO kept the oldest")
 	}
@@ -38,7 +38,7 @@ func TestPolicyLRU(t *testing.T) {
 	// Touch 0 and 2; 1 becomes least recently used.
 	s.Payload(entry(0))
 	s.Payload(entry(2))
-	s.PutPayloadCached(entry(9), []byte{9, 0, 0, 0}, time.Hour)
+	s.PutPayloadCached(entry(9), []byte{9, 0, 0, 0}, 0, time.Hour)
 	if s.HasPayload(entry(1)) {
 		t.Fatal("LRU kept the least recently used")
 	}
@@ -53,7 +53,7 @@ func TestPolicyLFU(t *testing.T) {
 	s.Payload(entry(0))
 	s.Payload(entry(0))
 	s.Payload(entry(1))
-	s.PutPayloadCached(entry(9), []byte{9, 0, 0, 0}, time.Hour)
+	s.PutPayloadCached(entry(9), []byte{9, 0, 0, 0}, 0, time.Hour)
 	if s.HasPayload(entry(2)) {
 		t.Fatal("LFU kept the least popular")
 	}
@@ -67,12 +67,12 @@ func TestChunkAccessCountsForLFU(t *testing.T) {
 	s.SetCachePolicy(EvictLFU)
 	item := entry(1)
 	for c := 0; c < 3; c++ {
-		s.PutPayloadCached(item.WithChunk(c), []byte{byte(c), 0, 0, 0}, time.Hour)
+		s.PutPayloadCached(item.WithChunk(c), []byte{byte(c), 0, 0, 0}, 0, time.Hour)
 	}
 	itemKey := item.Key()
 	s.ChunkPayload(itemKey, 0)
 	s.ChunkPayload(itemKey, 1)
-	s.PutPayloadCached(entry(9), []byte{9, 0, 0, 0}, time.Hour)
+	s.PutPayloadCached(entry(9), []byte{9, 0, 0, 0}, 0, time.Hour)
 	if _, ok := s.ChunkPayload(itemKey, 2); ok {
 		t.Fatal("LFU kept the never-served chunk")
 	}

@@ -51,13 +51,25 @@ type DataStore struct {
 	accessClock uint64
 	lastAccess  map[string]uint64
 	accessCount map[string]uint64
+	// backend is the optional durable tier (see backend.go); nil keeps
+	// the store purely in-memory, byte-for-byte the seed's behavior.
+	backend PayloadBackend
+	// spilled marks cached payloads whose bytes live only in the
+	// backend: evicted from RAM but still served, via a disk read.
+	spilled map[string]bool
 	// tr records cache insert/evict trace events; nil is free.
 	tr *trace.NodeTracer
 }
 
-// SetTracer installs a node-bound tracer for cache events. A nil tracer
+// SetTracer installs a node-bound tracer for cache events and, when a
+// backend is attached, its spill/compact/recover events. A nil tracer
 // disables them.
-func (s *DataStore) SetTracer(tr *trace.NodeTracer) { s.tr = tr }
+func (s *DataStore) SetTracer(tr *trace.NodeTracer) {
+	s.tr = tr
+	if bt, ok := s.backend.(tracerSettable); ok {
+		bt.SetTracer(tr)
+	}
+}
 
 // NewDataStore returns an empty store. cacheCap bounds cached payload
 // bytes (0 = unlimited).
@@ -66,6 +78,7 @@ func NewDataStore(cacheCap int) *DataStore {
 		entries:    make(map[string]Entry),
 		payloads:   make(map[string][]byte),
 		ownedKeys:  make(map[string]bool),
+		spilled:    make(map[string]bool),
 		cacheCap:   cacheCap,
 		chunkIndex: make(map[string]map[int]string),
 	}
@@ -74,7 +87,16 @@ func NewDataStore(cacheCap int) *DataStore {
 // PutOwned inserts an entry for data this node produced; it never
 // expires.
 func (s *DataStore) PutOwned(d attr.Descriptor) {
-	s.entries[d.Key()] = Entry{Desc: d, Owned: true}
+	key := d.Key()
+	s.entries[key] = Entry{Desc: d, Owned: true}
+	if s.backend != nil && !s.ownedKeys[key] {
+		if _, hasPayload := s.payloads[key]; !hasPayload && !s.spilled[key] {
+			// Entry-only owned fact: persist it so a restart still
+			// announces it. Payload-bearing records are written by
+			// PutPayloadOwned and must not be superseded here.
+			s.backend.PutEntry(d)
+		}
+	}
 }
 
 // PutCached inserts or refreshes a cached entry with the given expiry.
@@ -144,9 +166,13 @@ func (s *DataStore) PutPayloadOwned(d attr.Descriptor, payload []byte) {
 		}
 		s.ownedKeys[key] = true
 	}
+	delete(s.spilled, key) // upgraded copies live in RAM again
 	s.payloads[key] = payload
 	s.indexChunk(d, key)
 	s.PutOwned(d)
+	if s.backend != nil {
+		s.backend.PutPayload(d, payload, true)
+	}
 }
 
 // indexChunk records chunk payload possession in the per-item index.
@@ -198,19 +224,34 @@ func (s *DataStore) ChunkPayload(itemKey string, chunkID int) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
-	p, ok := s.payloads[key]
-	if ok {
+	return s.payloadByKey(key)
+}
+
+// payloadByKey reads a payload from RAM or, for spilled keys, from the
+// backend. Either hit counts toward LRU/LFU accounting.
+func (s *DataStore) payloadByKey(key string) ([]byte, bool) {
+	if p, ok := s.payloads[key]; ok {
 		s.touch(key)
+		return p, true
 	}
-	return p, ok
+	if s.spilled[key] {
+		if p, ok := s.backend.GetPayload(key); ok {
+			s.touch(key)
+			return p, true
+		}
+	}
+	return nil, false
 }
 
 // PutPayloadCached stores an overheard or relayed payload, subject to
-// the cache budget (FIFO eviction of other cached payloads). The
-// metadata entry is upgraded to non-expiring only in the sense that the
-// payload's presence keeps it alive; we keep it cached with expiry
-// refreshed by callers. It reports whether the payload was stored.
-func (s *DataStore) PutPayloadCached(d attr.Descriptor, payload []byte, expireAt time.Duration) bool {
+// the cache budget (policy-driven eviction of other cached payloads).
+// Before a live payload is evicted to make room, cached payloads whose
+// entry already expired by now are purged — their slots were dead
+// weight. The metadata entry is upgraded to non-expiring only in the
+// sense that the payload's presence keeps it alive; we keep it cached
+// with expiry refreshed by callers. It reports whether the payload was
+// stored.
+func (s *DataStore) PutPayloadCached(d attr.Descriptor, payload []byte, now, expireAt time.Duration) bool {
 	key := d.Key()
 	if s.ownedKeys[key] {
 		return false // already have a better copy
@@ -219,8 +260,16 @@ func (s *DataStore) PutPayloadCached(d attr.Descriptor, payload []byte, expireAt
 		s.PutCached(d, expireAt)
 		return false
 	}
+	if s.spilled[key] {
+		// Bytes already live in the disk tier; just refresh the lease.
+		s.PutCached(d, expireAt)
+		return false
+	}
 	if s.cacheCap > 0 && len(payload) > s.cacheCap {
 		return false
+	}
+	if s.cacheCap > 0 && s.cachedBytes+len(payload) > s.cacheCap {
+		s.purgeExpired(now)
 	}
 	for s.cacheCap > 0 && s.cachedBytes+len(payload) > s.cacheCap {
 		if !s.evictOne() {
@@ -233,31 +282,91 @@ func (s *DataStore) PutPayloadCached(d attr.Descriptor, payload []byte, expireAt
 	s.tr.CacheInsert(key, len(payload))
 	s.indexChunk(d, key)
 	s.PutCached(d, expireAt)
+	if s.backend != nil {
+		s.backend.PutPayload(d, payload, false)
+	}
 	return true
+}
+
+// purgeExpired frees the cache slots of cached payloads whose metadata
+// entry has expired: the payload is dropped (RAM and disk tier), the
+// chunk unindexed and the entry removed, so the eviction policy is
+// never asked to sacrifice a live payload while an expired one squats
+// on the budget.
+func (s *DataStore) purgeExpired(now time.Duration) {
+	kept := s.cacheOrder[:0]
+	for _, key := range s.cacheOrder {
+		e, ok := s.entries[key]
+		if ok && s.live(e, now) {
+			kept = append(kept, key)
+			continue
+		}
+		if p, held := s.payloads[key]; held {
+			s.cachedBytes -= len(p)
+			s.tr.CacheEvict(key, len(p))
+			delete(s.payloads, key)
+		}
+		if ok {
+			s.unindexChunk(e.Desc)
+			delete(s.entries, key)
+		}
+		delete(s.lastAccess, key)
+		delete(s.accessCount, key)
+		if s.backend != nil {
+			s.backend.DeletePayload(key)
+		}
+		delete(s.spilled, key)
+	}
+	s.cacheOrder = kept
+	// Spilled payloads left cacheOrder when they were evicted from RAM;
+	// reclaim their disk records too once their lease lapses.
+	for key := range s.spilled {
+		e, ok := s.entries[key]
+		if ok && s.live(e, now) {
+			continue
+		}
+		if ok {
+			s.unindexChunk(e.Desc)
+			delete(s.entries, key)
+		}
+		s.backend.DeletePayload(key)
+		delete(s.spilled, key)
+		delete(s.lastAccess, key)
+		delete(s.accessCount, key)
+	}
 }
 
 // Payload returns the stored payload for the descriptor, if present.
 // Access counts toward LRU/LFU cache accounting.
 func (s *DataStore) Payload(d attr.Descriptor) ([]byte, bool) {
-	key := d.Key()
-	p, ok := s.payloads[key]
-	if ok {
-		s.touch(key)
-	}
-	return p, ok
+	return s.payloadByKey(d.Key())
 }
 
-// HasPayload reports whether the payload for the descriptor is present.
+// HasPayload reports whether the payload for the descriptor is present
+// in RAM or the disk tier.
 func (s *DataStore) HasPayload(d attr.Descriptor) bool {
-	_, ok := s.payloads[d.Key()]
-	return ok
+	key := d.Key()
+	if _, ok := s.payloads[key]; ok {
+		return true
+	}
+	return s.spilled[key]
 }
 
-// MatchPayloads returns descriptors of held payloads whose metadata
-// entries are unexpired and satisfy q, in deterministic order.
+// MatchPayloads returns descriptors of held payloads (RAM or spilled)
+// whose metadata entries are unexpired and satisfy q, in deterministic
+// order.
 func (s *DataStore) MatchPayloads(q attr.Query, now time.Duration) []attr.Descriptor {
 	keys := make([]string, 0)
 	for k := range s.payloads {
+		e, ok := s.entries[k]
+		if ok && s.live(e, now) && q.Match(e.Desc) {
+			keys = append(keys, k)
+		}
+	}
+	for k := range s.spilled {
+		if _, inRAM := s.payloads[k]; inRAM {
+			continue
+		}
 		e, ok := s.entries[k]
 		if ok && s.live(e, now) && q.Match(e.Desc) {
 			keys = append(keys, k)
@@ -278,12 +387,19 @@ func (s *DataStore) DeleteOwned(d attr.Descriptor) {
 	delete(s.payloads, key)
 	delete(s.ownedKeys, key)
 	delete(s.entries, key)
+	delete(s.spilled, key)
 	s.unindexChunk(d)
+	if s.backend != nil {
+		s.backend.DeletePayload(key)
+	}
 }
 
 // WipeCached drops everything volatile — cached entries, cached
-// payloads and partial chunk buffers — keeping only owned data, as when
-// a node crashes and restarts with just its persisted store.
+// payloads (spilled ones included) and partial chunk buffers — keeping
+// only owned data, as when a node crashes and restarts with just its
+// persisted store. A backend's owned on-disk records are never touched;
+// its cached records follow the same crash semantics unless it was
+// opened with a persistent cache tier.
 func (s *DataStore) WipeCached() {
 	for k := range s.entries {
 		if !s.entries[k].Owned {
@@ -299,6 +415,10 @@ func (s *DataStore) WipeCached() {
 	s.cacheOrder = nil
 	s.lastAccess = nil
 	s.accessCount = nil
+	s.spilled = make(map[string]bool)
+	if s.backend != nil {
+		s.backend.WipeCached()
+	}
 	// Rebuild the chunk index from the surviving (owned) payloads.
 	s.chunkIndex = make(map[string]map[int]string)
 	for k := range s.payloads {
@@ -306,6 +426,23 @@ func (s *DataStore) WipeCached() {
 			s.indexChunk(e.Desc, k)
 		}
 	}
+}
+
+// PowerOff models the node losing power mid-run. With a durable
+// backend attached, every in-memory byte is lost — owned data included
+// — and only the backend's records survive; reload them with Recover.
+// Without a backend it degrades to WipeCached: the seed's model, where
+// owned data is assumed to sit on persistent storage outside this
+// process.
+func (s *DataStore) PowerOff() {
+	s.WipeCached()
+	if s.backend == nil {
+		return
+	}
+	s.entries = make(map[string]Entry)
+	s.payloads = make(map[string][]byte)
+	s.ownedKeys = make(map[string]bool)
+	s.chunkIndex = make(map[string]map[int]string)
 }
 
 // Expire removes entries whose expiry has passed and whose payload is
@@ -317,7 +454,7 @@ func (s *DataStore) Expire(now time.Duration) int {
 		if e.Owned || e.ExpireAt > now {
 			continue
 		}
-		if _, hasPayload := s.payloads[k]; hasPayload {
+		if _, hasPayload := s.payloads[k]; hasPayload || s.spilled[k] {
 			continue
 		}
 		delete(s.entries, k)

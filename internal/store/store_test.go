@@ -76,7 +76,7 @@ func TestCachedNeverDowngradesOwned(t *testing.T) {
 
 func TestExpireKeepsEntriesWithPayload(t *testing.T) {
 	s := NewDataStore(0)
-	s.PutPayloadCached(entry(1), []byte("x"), 10*time.Second)
+	s.PutPayloadCached(entry(1), []byte("x"), 0, 10*time.Second)
 	// §II-C: upon expiration the entry is removed only when the payload
 	// is absent.
 	if n := s.Expire(time.Hour); n != 0 {
@@ -107,7 +107,7 @@ func TestPayloadOwnership(t *testing.T) {
 	s := NewDataStore(0)
 	d := entry(1)
 	s.PutPayloadOwned(d, []byte("mine"))
-	if !s.PutPayloadCached(d, []byte("theirs"), time.Hour) {
+	if !s.PutPayloadCached(d, []byte("theirs"), 0, time.Hour) {
 		// Cached insert over owned must be refused.
 	} else {
 		t.Fatal("cached payload replaced owned")
@@ -125,14 +125,14 @@ func TestPayloadOwnership(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	s := NewDataStore(10) // tiny cache: 10 bytes
 	a, b, c := entry(1), entry(2), entry(3)
-	if !s.PutPayloadCached(a, []byte("aaaaa"), time.Hour) {
+	if !s.PutPayloadCached(a, []byte("aaaaa"), 0, time.Hour) {
 		t.Fatal("first insert refused")
 	}
-	if !s.PutPayloadCached(b, []byte("bbbbb"), time.Hour) {
+	if !s.PutPayloadCached(b, []byte("bbbbb"), 0, time.Hour) {
 		t.Fatal("second insert refused")
 	}
 	// Third insert evicts the oldest (FIFO).
-	if !s.PutPayloadCached(c, []byte("ccccc"), time.Hour) {
+	if !s.PutPayloadCached(c, []byte("ccccc"), 0, time.Hour) {
 		t.Fatal("third insert refused")
 	}
 	if s.HasPayload(a) {
@@ -142,13 +142,13 @@ func TestCacheEviction(t *testing.T) {
 		t.Fatal("newer payloads evicted")
 	}
 	// Payloads larger than the cache are refused outright.
-	if s.PutPayloadCached(entry(4), make([]byte, 100), time.Hour) {
+	if s.PutPayloadCached(entry(4), make([]byte, 100), 0, time.Hour) {
 		t.Fatal("oversized payload cached")
 	}
 	// Owned payloads are never evicted and do not count.
 	s2 := NewDataStore(10)
 	s2.PutPayloadOwned(a, []byte("ownedownedowned"))
-	if !s2.PutPayloadCached(b, []byte("bbbbb"), time.Hour) {
+	if !s2.PutPayloadCached(b, []byte("bbbbb"), 0, time.Hour) {
 		t.Fatal("cached insert refused despite owned-only usage")
 	}
 	if !s2.HasPayload(a) {
@@ -183,8 +183,8 @@ func TestChunkIndex(t *testing.T) {
 func TestChunkIndexEviction(t *testing.T) {
 	s := NewDataStore(4)
 	item := entry(1).Set(attr.AttrTotalChunks, attr.Int(2))
-	s.PutPayloadCached(item.WithChunk(0), []byte("aaaa"), time.Hour)
-	s.PutPayloadCached(item.WithChunk(1), []byte("bbbb"), time.Hour) // evicts chunk 0
+	s.PutPayloadCached(item.WithChunk(0), []byte("aaaa"), 0, time.Hour)
+	s.PutPayloadCached(item.WithChunk(1), []byte("bbbb"), 0, time.Hour) // evicts chunk 0
 	held := s.ChunksHeld(item.Key())
 	if len(held) != 1 || held[0] != 1 {
 		t.Fatalf("ChunksHeld after eviction = %v", held)

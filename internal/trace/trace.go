@@ -74,6 +74,12 @@ const (
 	CacheEvict  // cached payload evicted (Note = key, Size = payload bytes)
 	LQTInsert   // lingering query inserted (Msg = query id)
 	LQTExpire   // lingering query expired (Msg = query id)
+
+	// Disk tier (internal/diskstore behind the data store).
+	SpillWrite   // payload written to the disk tier (Note = key, Size = bytes, Val = 1 if owned)
+	SpillLoad    // payload served from the disk tier (Note = key, Size = bytes)
+	StoreCompact // segment log compacted (Val = segments before, Size = bytes reclaimed)
+	StoreRecover // recovery scan finished (Val = records replayed, Size = records skipped)
 )
 
 var kindNames = [...]string{
@@ -104,6 +110,11 @@ var kindNames = [...]string{
 	CacheEvict:  "cache_evict",
 	LQTInsert:   "lqt_insert",
 	LQTExpire:   "lqt_expire",
+
+	SpillWrite:   "spill_write",
+	SpillLoad:    "spill_load",
+	StoreCompact: "store_compact",
+	StoreRecover: "store_recover",
 }
 
 // String returns the snake_case event name used in JSONL exports.
@@ -449,6 +460,46 @@ func (nt *NodeTracer) LQTExpire(queryID uint64) {
 		return
 	}
 	nt.t.emit(nt.id, LQTExpire, queryID, 0, 0, 0, 0, "")
+}
+
+// --- Disk tier --------------------------------------------------------
+
+// SpillWrite records a payload written to the disk tier. key must be
+// the already-computed descriptor key.
+func (nt *NodeTracer) SpillWrite(key string, size int, owned bool) {
+	if nt == nil {
+		return
+	}
+	v := int64(0)
+	if owned {
+		v = 1
+	}
+	nt.t.emit(nt.id, SpillWrite, 0, 0, 0, size, v, key)
+}
+
+// SpillLoad records a payload served from the disk tier.
+func (nt *NodeTracer) SpillLoad(key string, size int) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, SpillLoad, 0, 0, 0, size, 0, key)
+}
+
+// StoreCompact records a segment-log compaction reclaiming dead bytes.
+func (nt *NodeTracer) StoreCompact(segmentsBefore int, reclaimedBytes int64) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, StoreCompact, 0, 0, 0, int(reclaimedBytes), int64(segmentsBefore), "")
+}
+
+// StoreRecover records a diskstore recovery scan: records replayed,
+// records (or regions) skipped as corrupt.
+func (nt *NodeTracer) StoreRecover(records, skipped int) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, StoreRecover, 0, 0, 0, skipped, int64(records), "")
 }
 
 // formatInts renders an assignment vector compactly ("0,3,7").

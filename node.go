@@ -9,6 +9,7 @@ import (
 
 	"pds/internal/clock"
 	"pds/internal/core"
+	"pds/internal/diskstore"
 	"pds/internal/link"
 	"pds/internal/trace"
 	"pds/internal/wire"
@@ -39,20 +40,23 @@ type Node struct {
 	link   *link.Link
 	trans  Transport
 	tracer *trace.Tracer
+	disk   *diskstore.Backend
 }
 
 // NodeOption configures NewNode.
 type NodeOption func(*nodeOptions)
 
 type nodeOptions struct {
-	id       NodeID
-	cfg      core.Config
-	linkCfg  *link.Config
-	seed     int64
-	seedSet  bool
-	cacheCap int
-	tracing  bool
-	traceCap int
+	id           NodeID
+	cfg          core.Config
+	linkCfg      *link.Config
+	seed         int64
+	seedSet      bool
+	cacheCap     int
+	tracing      bool
+	traceCap     int
+	dataDir      string
+	persistCache bool
 }
 
 // WithNodeID sets the node id; default is randomly drawn. IDs must be
@@ -86,6 +90,24 @@ func WithCacheCap(capBytes int) NodeOption {
 // default). Read the events via Tracer.
 func WithTracing(perNodeCap int) NodeOption {
 	return func(o *nodeOptions) { o.tracing = true; o.traceCap = perNodeCap }
+}
+
+// WithDataDir puts a crash-safe persistent chunk store under the
+// node's data store, rooted at dir (created if absent). Owned data
+// survives restarts: a node reopened over the same directory comes up
+// with everything it had published. Cached payloads evicted from RAM
+// spill to disk and keep serving from there. Without this option the
+// node is purely in-memory (the default).
+func WithDataDir(dir string) NodeOption {
+	return func(o *nodeOptions) { o.dataDir = dir }
+}
+
+// WithPersistentCache also keeps cached (non-owned) payloads across
+// restarts, as spilled records with a fresh entry lease. Only
+// meaningful together with WithDataDir; default off — the paper's
+// crash semantics, where the opportunistic cache is volatile.
+func WithPersistentCache() NodeOption {
+	return func(o *nodeOptions) { o.persistCache = true }
 }
 
 // NewNode creates a real-time node on the transport.
@@ -129,6 +151,16 @@ func NewNode(trans Transport, opts ...NodeOption) (*Node, error) {
 		n.link.SetTracer(nt)
 		n.core.SetTracer(nt)
 	}
+	if o.dataDir != "" {
+		st, err := diskstore.Open(o.dataDir, diskstore.Options{
+			PersistCached: o.persistCache,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pds: open data dir: %w", err)
+		}
+		n.disk = diskstore.NewBackend(st)
+		clk.Locked(func() { n.core.AttachBackend(n.disk) })
+	}
 	trans.SetReceiver(func(m *wire.Message) {
 		clk.Locked(func() {
 			if up := n.link.HandleIncoming(m); up != nil {
@@ -147,10 +179,26 @@ func (n *Node) ID() NodeID { return n.id }
 // with its WriteJSONL.
 func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
-// Close stops the node and its transport.
+// Close stops the node, its transport, and — when WithDataDir was
+// given — syncs and closes the persistent store.
 func (n *Node) Close() error {
 	n.clk.Locked(func() { n.core.Stop() })
-	return n.trans.Close()
+	err := n.trans.Close()
+	if n.disk != nil {
+		if derr := n.disk.Store().Close(); err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+// DiskStats returns a snapshot of the persistent store's counters; ok
+// is false when the node runs without a data directory.
+func (n *Node) DiskStats() (diskstore.Stats, bool) {
+	if n.disk == nil {
+		return diskstore.Stats{}, false
+	}
+	return n.disk.Store().Stats(), true
 }
 
 // Publish makes a small data item available to peers.
