@@ -2,7 +2,7 @@ GO ?= go
 BENCH_RUNS ?= 3
 BENCH_SIZE ?= 2
 
-.PHONY: build test verify fuzz bench
+.PHONY: build test lint verify fuzz bench
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,28 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-merge gate: static checks, a full build, the whole
-# test suite, and the race detector across every package — shared
-# immutable messages and parallel sweep runs mean concurrency is no
-# longer confined to the socket code.
-verify:
+# lint runs the static-analysis gate: the repo's own invariant
+# analyzers (cmd/pds-lint — frozen messages, determinism, tracer
+# hygiene, lock/send ordering; see DESIGN.md §11), a gofmt check, and —
+# when the binary is installed — golangci-lint with the pinned
+# .golangci.yml. Findings are suppressed only by an audited
+# `//lint:allow <analyzer> <reason>` comment; pds-lint prints every
+# suppression so the zero-findings state stays reviewable.
+lint:
+	$(GO) run ./cmd/pds-lint ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; skipped (CI runs it — see .golangci.yml)"; fi
+
+# verify is the pre-merge gate: lint first (cheapest signal, fails
+# fast), then vet, a full build, the whole test suite, and the race
+# detector across every package — shared immutable messages and
+# parallel sweep runs mean concurrency is no longer confined to the
+# socket code.
+verify: lint
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...

@@ -1,0 +1,209 @@
+// Command pds-lint runs the repo's invariant analyzers (internal/lint)
+// over package patterns and reports findings with the DESIGN.md section
+// each one enforces. It is the pre-merge teeth for the frozen-message
+// lifecycle, seed-determinism, tracer hygiene and lock/send ordering:
+// `make verify` and CI run it before the test suite.
+//
+// Usage:
+//
+//	pds-lint [-tests] [-json report.json] [patterns ...]
+//
+// Patterns default to ./... resolved against the module root. Exit
+// status is 1 when any unsuppressed finding remains, 2 on usage or load
+// errors. Suppressions (//lint:allow <analyzer> <reason>) are counted
+// and printed so the zero-findings state is auditable, not assumed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pds/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the annotation-friendly JSON schema CI uploads: one entry
+// per finding with file/line/col so a viewer (or a GitHub annotation
+// script) can map each straight onto the diff.
+type report struct {
+	Findings    []reportFinding `json:"findings"`
+	Suppressed  []reportFinding `json:"suppressed"`
+	Unused      []reportFinding `json:"unused_suppressions"`
+	Summary     map[string]int  `json:"summary_by_analyzer"`
+	Suppression map[string]int  `json:"suppressions_by_analyzer"`
+}
+
+type reportFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Section  string `json:"section,omitempty"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("pds-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	includeTests := fs.Bool("tests", false, "also analyze _test.go files of each package")
+	jsonOut := fs.String("json", "", "write an annotation-friendly JSON report to this file (\"-\" for stdout)")
+	quiet := fs.Bool("q", false, "suppress the per-suppression detail lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "pds-lint: %v\n", err)
+		return 2
+	}
+	modPath, err := lint.ModulePath(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "pds-lint: %v\n", err)
+		return 2
+	}
+	targets, err := lint.Expand(root, modPath, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "pds-lint: %v\n", err)
+		return 2
+	}
+
+	loader := lint.NewLoader()
+	var pkgs []*lint.Package
+	for _, tg := range targets {
+		pkg, err := loader.LoadDir(tg.Dir, tg.Path, *includeTests)
+		if err != nil {
+			fmt.Fprintf(stderr, "pds-lint: %v\n", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	res := lint.Run(pkgs, lint.All())
+
+	rel := func(p string) string {
+		if r, err := filepath.Rel(root, p); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return p
+	}
+
+	unsup := res.Unsuppressed()
+	for _, f := range unsup {
+		section := ""
+		if f.Section != "" {
+			section = fmt.Sprintf(" (enforces %s)", f.Section)
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s%s\n",
+			rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message, section)
+	}
+
+	sup := res.Suppressed()
+	if !*quiet {
+		for _, f := range sup {
+			fmt.Fprintf(stdout, "%s:%d: [%s] suppressed: %s — allowed: %s\n",
+				rel(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message, f.Reason)
+		}
+		for _, d := range res.Unused {
+			fmt.Fprintf(stdout, "%s:%d: warning: unused //lint:allow %s (%s)\n",
+				rel(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Reason)
+		}
+	}
+
+	byAnalyzer := make(map[string]int)
+	supByAnalyzer := make(map[string]int)
+	for _, f := range unsup {
+		byAnalyzer[f.Analyzer]++
+	}
+	for _, f := range sup {
+		supByAnalyzer[f.Analyzer]++
+	}
+	fmt.Fprintf(stdout, "pds-lint: %d packages, %d findings, %d suppressed (%s)\n",
+		len(pkgs), len(unsup), len(sup), suppressionSummary(supByAnalyzer))
+
+	if *jsonOut != "" {
+		rep := report{Summary: byAnalyzer, Suppression: supByAnalyzer}
+		for _, f := range unsup {
+			rep.Findings = append(rep.Findings, reportFinding{
+				File: rel(f.Pos.Filename), Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Section: f.Section, Message: f.Message,
+			})
+		}
+		for _, f := range sup {
+			rep.Suppressed = append(rep.Suppressed, reportFinding{
+				File: rel(f.Pos.Filename), Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Section: f.Section, Message: f.Message, Reason: f.Reason,
+			})
+		}
+		for _, d := range res.Unused {
+			rep.Unused = append(rep.Unused, reportFinding{
+				File: rel(d.Pos.Filename), Line: d.Pos.Line,
+				Analyzer: d.Analyzer, Reason: d.Reason,
+			})
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "pds-lint: encoding report: %v\n", err)
+			return 2
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "pds-lint: writing report: %v\n", err)
+			return 2
+		}
+	}
+
+	if len(unsup) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func suppressionSummary(m map[string]int) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s: %d", n, m[n]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

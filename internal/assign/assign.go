@@ -161,6 +161,7 @@ func maxLoad(load map[wire.NodeID]int) (wire.NodeID, int) {
 		hot  wire.NodeID
 		best = -1
 	)
+	//lint:allow determinism argmax with a total-order tie-break on neighbor id; the result is iteration-order independent
 	for nb, l := range load {
 		if l > best || (l == best && nb < hot) {
 			hot, best = nb, l
@@ -176,6 +177,7 @@ func maxLoad(load map[wire.NodeID]int) (wire.NodeID, int) {
 // whose loads are changing.
 func otherMax(load map[wire.NodeID]int, a, b wire.NodeID) int {
 	best := 0
+	//lint:allow determinism pure max reduction over ints is commutative; no tie state escapes the loop
 	for nb, l := range load {
 		if nb == a || nb == b {
 			continue

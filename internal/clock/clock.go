@@ -30,10 +30,13 @@ type Real struct {
 
 // NewReal returns a wall clock with epoch now.
 func NewReal() *Real {
+	//lint:allow determinism Real is the sanctioned wall-clock bridge for live deployments; sim runs use Sim
 	return &Real{epoch: time.Now()}
 }
 
 // Now returns the time elapsed since the clock was created.
+//
+//lint:allow determinism Real is the sanctioned wall-clock bridge for live deployments; sim runs use Sim
 func (r *Real) Now() time.Duration { return time.Since(r.epoch) }
 
 // Schedule runs fn after delay under the clock's lock.

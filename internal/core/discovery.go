@@ -204,6 +204,7 @@ func (s *session) startRound() {
 		}
 		f := bloom.NewForCapacity(capacity, n.cfg.BloomFPR,
 			s.bloomSalt+uint64(s.round))
+		//lint:allow determinism Bloom Add is commutative; insertion order cannot change the filter bits
 		for key := range s.received {
 			f.Add(key)
 		}

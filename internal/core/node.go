@@ -281,6 +281,7 @@ func (n *Node) Crash() {
 	}
 	n.crashed = true
 	n.epoch++
+	//lint:allow determinism per-entry teardown; cancelCheck only unschedules that retrieval's own sim timer
 	for _, r := range n.retrievals {
 		r.done = true
 		if r.cancelCheck != nil {

@@ -588,7 +588,7 @@ func (n *Node) handleChunkQuery(q *wire.Query) {
 	inFlight := make(map[int]bool)
 	for _, lq := range n.lqt.MatchItem(wire.KindChunk, itemKey, now) {
 		if lq.Query.Origin == q.Origin {
-			for _, c := range lq.Query.ChunkIDs {
+			for _, c := range lq.Wanted {
 				inFlight[c] = true
 			}
 		}
@@ -607,8 +607,9 @@ func (n *Node) handleChunkQuery(q *wire.Query) {
 		}
 	}
 
-	// Linger with the still-missing set so returning chunks route back
-	// to q.Sender. Held chunks are served directly and need no routing.
+	// Linger, narrowing the wanted set to the still-missing chunks, so
+	// returning chunks route back to q.Sender. Held chunks are served
+	// directly and need no routing.
 	// The lingering TTL is short: a chunk chain either makes progress
 	// within seconds or is dead, and a dead chain must stop damping
 	// retries quickly (flooded discovery queries keep the long TTL).
@@ -616,9 +617,8 @@ func (n *Node) handleChunkQuery(q *wire.Query) {
 	if chunkLinger > n.cfg.ChunkRetry/2 {
 		chunkLinger = n.cfg.ChunkRetry / 2
 	}
-	lq := *q
-	lq.ChunkIDs = append([]int(nil), missing...)
-	n.lqt.Insert(&lq, now+chunkLinger)
+	lq := n.lqt.Insert(q, now+chunkLinger)
+	lq.Wanted = append([]int(nil), missing...)
 
 	// Recurse first (sub-queries are small; chunk payloads would delay
 	// them in the pacing queue).
@@ -661,12 +661,14 @@ func (n *Node) relayChunks(r *wire.Response, now time.Duration) {
 		}
 		recv := make(map[wire.NodeID]bool)
 		for _, lq := range matching {
-			idx := indexOf(lq.Query.ChunkIDs, cid)
+			idx := indexOf(lq.Wanted, cid)
 			if idx < 0 {
 				continue
 			}
 			// Consume: this lingering query no longer waits for cid.
-			lq.Query.ChunkIDs = append(lq.Query.ChunkIDs[:idx], lq.Query.ChunkIDs[idx+1:]...)
+			// The wanted set is the LQT's private copy — the delivered
+			// query and its ChunkIDs stay frozen (DESIGN.md §8).
+			lq.Wanted = append(lq.Wanted[:idx], lq.Wanted[idx+1:]...)
 			if lq.Query.Origin != n.id {
 				n.tr.LQMatch(r.ID, lq.Query.ID)
 				recv[lq.Query.Sender] = true

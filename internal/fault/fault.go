@@ -174,12 +174,12 @@ type Injector struct {
 	geEnds   time.Duration // 0 = open-ended
 	geEpoch  uint64        // invalidates scheduled flips of closed windows
 
-	corruptRate  float64
-	corruptEnds  time.Duration
-	corruptOpen  bool
-	dupRate      float64
-	dupEnds      time.Duration
-	dupOpen      bool
+	corruptRate float64
+	corruptEnds time.Duration
+	corruptOpen bool
+	dupRate     float64
+	dupEnds     time.Duration
+	dupOpen     bool
 
 	stats Stats
 }

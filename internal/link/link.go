@@ -12,6 +12,7 @@
 package link
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -294,6 +295,9 @@ func (l *Link) finishJob(job *fragJob) {
 			for id := range job.unacked {
 				unacked = append(unacked, id)
 			}
+			// Sorted so health-tracker strikes land in the same order
+			// every run (the second strike kills a neighbor).
+			sort.Slice(unacked, func(i, j int) bool { return unacked[i] < unacked[j] })
 			l.OnGiveUp(job.whole, unacked)
 		}
 	}
@@ -332,12 +336,9 @@ func (l *Link) sendFrameForJob(msg *wire.Message, job *fragJob) {
 // (explicit receiver list, acking enabled) and paces the frame out.
 func (l *Link) sendFrame(msg *wire.Message) {
 	l.nextTransmit++
-	msg.TransmitID = uint64(l.self)<<32 | l.nextTransmit
-	msg.From = l.self
-
 	receivers := msg.Receivers()
 	needAck := l.cfg.AckEnabled && len(receivers) > 0 && msg.Type != wire.TypeAck
-	msg.NoAck = !needAck
+	msg.Stamp(uint64(l.self)<<32|l.nextTransmit, l.self, !needAck)
 
 	if needAck {
 		p := &pending{msg: msg, remaining: make(map[wire.NodeID]bool, len(receivers))}
@@ -487,6 +488,9 @@ func (l *Link) retry(p *pending) {
 			for id := range p.remaining {
 				unacked = append(unacked, id)
 			}
+			// Sorted for the same reason as in finishJob: neighbor
+			// strike order must not inherit map iteration order.
+			sort.Slice(unacked, func(i, j int) bool { return unacked[i] < unacked[j] })
 			l.OnGiveUp(p.msg, unacked)
 		}
 		return
@@ -672,6 +676,7 @@ var reasmBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); retur
 // post-restart frames never collide with pre-crash ones still cached in
 // neighbors' dedup windows.
 func (l *Link) Reset() {
+	//lint:allow determinism per-entry teardown; cancel only unschedules that entry's own retry timer
 	for id, p := range l.pend {
 		if p.cancel != nil {
 			p.cancel()

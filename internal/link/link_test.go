@@ -318,3 +318,28 @@ func TestJobsSerializePerLink(t *testing.T) {
 		t.Fatalf("both jobs transmitted concurrently: %v", order)
 	}
 }
+
+// TestGiveUpReportsSortedUnacked pins the determinism fix in the
+// give-up paths: the unacked list handed to OnGiveUp is collected from
+// a map, so it must be sorted before the health tracker strikes
+// neighbors (the second strike kills one — order changes outcomes).
+func TestGiveUpReportsSortedUnacked(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxRetr = 1
+	p := newPipe(t, cfg, testConfig())
+	p.dropAtoB = func(n int) bool { return true } // black hole
+	var gaveUp []wire.NodeID
+	p.a.OnGiveUp = func(_ *wire.Message, unacked []wire.NodeID) { gaveUp = unacked }
+	msg := smallResponse(42, 2)
+	msg.Response.Receivers = []wire.NodeID{9, 4, 7, 2, 8, 3, 6, 5}
+	p.a.Send(msg)
+	p.eng.Run(30 * time.Second)
+	if len(gaveUp) != 8 {
+		t.Fatalf("OnGiveUp reported %v, want all 8 receivers", gaveUp)
+	}
+	for i := 1; i < len(gaveUp); i++ {
+		if gaveUp[i-1] >= gaveUp[i] {
+			t.Fatalf("unacked list not sorted: %v", gaveUp)
+		}
+	}
+}

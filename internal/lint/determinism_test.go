@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+func TestDeterminismFixture(t *testing.T) {
+	RunFixture(t, Determinism, "testdata/determinism")
+}
+
+func TestDeterminismScope(t *testing.T) {
+	cases := []struct {
+		path, name string
+		want       bool
+	}{
+		{"pds/internal/core", "core", true},
+		{"pds/internal/scenario", "scenario", true},
+		{"pds/internal/wire", "wire", true},
+		{"fixture/determinism", "fixture", true},
+		{"pds", "pds", false},
+		{"pds/cmd/pds-sim", "main", false},
+		{"pds/examples/quickstart", "main", false},
+		{"pds/internal/udptransport", "udptransport", false},
+		{"pds/internal/fault", "fault", false},
+		{"pds/internal/diskstore", "diskstore", false},
+		{"pds/internal/lint", "lint", false},
+	}
+	for _, c := range cases {
+		if got := determinismScoped(c.path, c.name); got != c.want {
+			t.Errorf("determinismScoped(%q, %q) = %v, want %v", c.path, c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// TB is the subset of testing.TB the fixture harness needs, declared
+// locally so the framework does not import the testing package.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantRE matches a want comment; quotedRE then pulls each expected
+// pattern out of its tail, so one comment can expect several
+// diagnostics on the same line: // want "first" "second".
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(".*)$`)
+	quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// RunFixture type-checks the fixture directory as the package
+// "fixture/<base>" and runs the analyzer over it, comparing raw
+// diagnostics (before suppression processing, like analysistest)
+// against `// want "regexp"` comments: every diagnostic must match a
+// want on its line, and every want must be matched. Fixtures may import
+// real repo packages (pds/internal/wire, ...); the loader resolves them
+// from source.
+func RunFixture(t TB, a *Analyzer, dir string) {
+	t.Helper()
+	l := NewLoader()
+	base := dir[strings.LastIndexByte(dir, '/')+1:]
+	pkg, err := l.LoadDir(dir, "fixture/"+base, true)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", q[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+	sort.Slice(diags, func(i, j int) bool { return lessPos(diags[i].Pos, diags[j].Pos) })
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("expected diagnostic matching %q at %s:%d, got none", w.re, w.file, w.line)
+		}
+	}
+}

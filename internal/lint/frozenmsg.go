@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FrozenMsg is the compile-time teeth behind DESIGN.md §8: once a
+// wire.Message is published, the same pointer is delivered to every
+// receiver, so any in-place mutation is cross-node data corruption. The
+// analyzer flags, outside the wire package itself:
+//
+//   - field writes through a pointer to a frozen wire struct (Message,
+//     Query, Response, Fragment, Ack) — e.g. msg.From = id or
+//     m.Query.Receivers = rs;
+//   - element writes into a frozen slice section (Receivers, ChunkIDs,
+//     Serves, Entries, CDI, Blobs, Data), whether reached through a
+//     pointer or a value copy (a value copy still aliases the shared
+//     backing array);
+//   - append whose destination is a frozen slice section (append may
+//     write into the shared backing array when capacity allows);
+//   - Query.Bloom.Add(...) — the filter pointer is shared even across
+//     struct value copies; rewriting goes through LQT's private clone
+//     and Message.WithBloom.
+//
+// Writes through a pointer obtained in the same function from
+// &wire.X{...} or new(wire.X) are the build phase of the lifecycle and
+// are allowed. CoW rewrites on value copies (q := *m.Query;
+// q.Receivers = rs) reassign fields without touching shared arrays and
+// are likewise allowed.
+var FrozenMsg = &Analyzer{
+	Name:    "frozenmsg",
+	Doc:     "flags post-publish mutation of frozen wire.Message sections outside the wire package's builders",
+	Section: "DESIGN.md §8 (message ownership & copy-on-write)",
+	Run:     runFrozenMsg,
+}
+
+// frozenSliceFields are the slice sections frozen with the message.
+var frozenSliceFields = map[string]bool{
+	"Receivers": true, "ChunkIDs": true, "Serves": true,
+	"Entries": true, "CDI": true, "Blobs": true, "Data": true,
+}
+
+func runFrozenMsg(p *Pass) {
+	if isWirePkg(p.Pkg.Types) {
+		return // the builders live here by design
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFrozenFunc(p, fd.Body)
+		}
+	}
+}
+
+func checkFrozenFunc(p *Pass, body *ast.BlockStmt) {
+	builders := collectBuilders(p, body)
+	exemptBase := func(e ast.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.Ident:
+				obj := p.Pkg.Info.Uses[x]
+				if obj == nil {
+					obj = p.Pkg.Info.Defs[x]
+				}
+				return obj != nil && builders[obj]
+			default:
+				return false
+			}
+		}
+	}
+
+	checkLHS := func(lhs ast.Expr) {
+		switch l := lhs.(type) {
+		case *ast.SelectorExpr:
+			if name, ok := isPtrTo(p.Pkg.Info.TypeOf(l.X)); ok && !exemptBase(l.X) {
+				p.Reportf(l.Pos(), "write to frozen wire.%s field %s outside the wire builders: published messages are shared by every receiver (use ShallowShare/WithReceivers/WithBloom/WithEntries)",
+					name, l.Sel.Name)
+			}
+		case *ast.IndexExpr:
+			if sel, fieldOf, ok := frozenFieldSel(p.Pkg.Info, l.X); ok && !exemptBase(sel.X) {
+				p.Reportf(l.Pos(), "element write into frozen wire.%s.%s: the backing array is shared with the published message even through a struct copy",
+					fieldOf, sel.Sel.Name)
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkLHS(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkLHS(n.X)
+		case *ast.CallExpr:
+			checkFrozenCall(p, n, exemptBase)
+		}
+		return true
+	})
+}
+
+// frozenFieldSel reports whether e (after unwrapping parens/slicing) is
+// a selector of a frozen slice field on a wire struct, returning the
+// selector and the owning struct name.
+func frozenFieldSel(info *types.Info, e ast.Expr) (*ast.SelectorExpr, string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || !frozenSliceFields[sel.Sel.Name] {
+				return nil, "", false
+			}
+			name, ok := namedWireType(info.TypeOf(sel.X))
+			if !ok {
+				return nil, "", false
+			}
+			return sel, name, true
+		}
+	}
+}
+
+func checkFrozenCall(p *Pass, call *ast.CallExpr, exemptBase func(ast.Expr) bool) {
+	// append(m.Query.ChunkIDs[:i], ...) mutates the shared array in
+	// place when capacity allows; only the destination (first) argument
+	// is dangerous — frozen slices as variadic sources are reads.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			if sel, fieldOf, ok := frozenFieldSel(p.Pkg.Info, call.Args[0]); ok && !exemptBase(sel.X) {
+				p.Reportf(call.Pos(), "append into frozen wire.%s.%s may write the shared backing array; copy first (append([]T(nil), s...)) or rebuild via a CoW helper",
+					fieldOf, sel.Sel.Name)
+			}
+		}
+	}
+	// q.Bloom.Add(...): the filter is shared even across value copies.
+	if fun, ok := call.Fun.(*ast.SelectorExpr); ok && fun.Sel.Name == "Add" {
+		if bloomSel, ok := fun.X.(*ast.SelectorExpr); ok && bloomSel.Sel.Name == "Bloom" {
+			if name, ok := namedWireType(p.Pkg.Info.TypeOf(bloomSel.X)); ok && !exemptBase(bloomSel.X) {
+				p.Reportf(call.Pos(), "mutation of the shared wire.%s Bloom filter: clone it (LQT does at insert) and attach a snapshot via WithBloom", name)
+			}
+		}
+	}
+}
+
+// collectBuilders returns the objects of local variables that hold a
+// message under construction: assigned from &wire.X{...} or new(wire.X)
+// in this function and never re-assigned from an unknown pointer source.
+func collectBuilders(p *Pass, body ast.Node) map[types.Object]bool {
+	builders := make(map[types.Object]bool)
+	tainted := make(map[types.Object]bool)
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return p.Pkg.Info.Uses[id]
+	}
+	isBuildExpr := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.UnaryExpr:
+			cl, ok := e.X.(*ast.CompositeLit)
+			if e.Op != token.AND || !ok {
+				return false
+			}
+			_, isWire := namedWireType(p.Pkg.Info.TypeOf(cl))
+			return isWire
+		case *ast.CallExpr:
+			id, ok := e.Fun.(*ast.Ident)
+			if !ok || id.Name != "new" || len(e.Args) != 1 {
+				return false
+			}
+			_, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin)
+			if !isBuiltin {
+				return false
+			}
+			_, isWire := namedWireType(p.Pkg.Info.TypeOf(e.Args[0]))
+			return isWire
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			obj := objOf(lhs)
+			if obj == nil {
+				continue
+			}
+			if _, isPtr := isPtrTo(obj.Type()); !isPtr {
+				continue
+			}
+			if isBuildExpr(asg.Rhs[i]) {
+				builders[obj] = true
+			} else {
+				tainted[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range tainted {
+		delete(builders, obj)
+	}
+	return builders
+}

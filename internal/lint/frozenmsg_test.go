@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestFrozenMsgFixture(t *testing.T) {
+	RunFixture(t, FrozenMsg, "testdata/frozenmsg")
+}

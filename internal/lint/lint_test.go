@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuppressionPipeline runs the full Run pipeline (diagnostics plus
+// //lint:allow resolution) over the suppress fixture and asserts the
+// counts cmd/pds-lint reports: suppressions are counted, justified
+// reasons surface, malformed directives become findings, and stale
+// directives are surfaced as unused.
+func TestSuppressionPipeline(t *testing.T) {
+	l := NewLoader()
+	pkg, err := l.LoadDir("testdata/suppress", "fixture/suppress", true)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	res := Run([]*Package{pkg}, All())
+
+	sup := res.Suppressed()
+	if len(sup) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1: %+v", len(sup), sup)
+	}
+	if want := "modeled link-layer stamp for the suppression test"; sup[0].Reason != want {
+		t.Errorf("suppression reason = %q, want %q", sup[0].Reason, want)
+	}
+	if sup[0].Analyzer != "frozenmsg" {
+		t.Errorf("suppressed analyzer = %q, want frozenmsg", sup[0].Analyzer)
+	}
+
+	unsup := res.Unsuppressed()
+	// m.From, m.NoAck, m.Query writes plus two malformed directives.
+	if len(unsup) != 5 {
+		for _, f := range unsup {
+			t.Logf("unsuppressed: %s:%d [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+		}
+		t.Fatalf("unsuppressed findings = %d, want 5", len(unsup))
+	}
+	var directiveFindings, frozenFindings int
+	for _, f := range unsup {
+		switch f.Analyzer {
+		case "lintdirective":
+			directiveFindings++
+		case "frozenmsg":
+			frozenFindings++
+		}
+	}
+	if directiveFindings != 2 || frozenFindings != 3 {
+		t.Errorf("finding split = %d directive / %d frozenmsg, want 2 / 3", directiveFindings, frozenFindings)
+	}
+
+	if len(res.Unused) != 1 {
+		t.Fatalf("unused directives = %d, want 1: %+v", len(res.Unused), res.Unused)
+	}
+	if !strings.Contains(res.Unused[0].Reason, "stale directive") {
+		t.Errorf("unused directive reason = %q, want the stale one", res.Unused[0].Reason)
+	}
+
+	// Diagnostics carry the DESIGN.md section the analyzer enforces so
+	// a failing gate names the contract being broken.
+	if !strings.Contains(sup[0].Section, "DESIGN.md §8") {
+		t.Errorf("frozenmsg section = %q, want a DESIGN.md §8 reference", sup[0].Section)
+	}
+}
+
+// TestExpandPatterns checks ./... expansion skips testdata and resolves
+// module-relative import paths.
+func TestExpandPatterns(t *testing.T) {
+	root := "../.."
+	modPath, err := ModulePath(root)
+	if err != nil {
+		t.Fatalf("ModulePath: %v", err)
+	}
+	if modPath != "pds" {
+		t.Fatalf("module path = %q, want pds", modPath)
+	}
+	targets, err := Expand(mustAbs(t, root), modPath, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	paths := make(map[string]bool, len(targets))
+	for _, tg := range targets {
+		paths[tg.Path] = true
+		if strings.Contains(tg.Path, "testdata") {
+			t.Errorf("Expand leaked a testdata package: %s", tg.Path)
+		}
+	}
+	for _, want := range []string{"pds", "pds/internal/wire", "pds/internal/core", "pds/internal/lint", "pds/cmd/pds-lint"} {
+		if !paths[want] {
+			t.Errorf("Expand missed %s (got %d targets)", want, len(targets))
+		}
+	}
+}
+
+func mustAbs(t *testing.T, p string) string {
+	t.Helper()
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		t.Fatalf("abs %s: %v", p, err)
+	}
+	return abs
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LockSafe flags the deadlock shape the link/radio layers are prone to:
+// a sync.Mutex/RWMutex held across a channel send or a real-transport
+// write. A blocked send with a lock held wedges every other goroutine
+// that needs the lock — including the receiver that would have drained
+// the channel. The analysis is intra-function and syntactic about
+// control flow: from a Lock()/RLock() call until the matching
+// Unlock()/RUnlock() on the same lock expression (or function end when
+// the unlock is deferred), any channel send, select with a send case,
+// or net.* Write method call is reported. Function literals are scanned
+// independently with an empty lock set.
+var LockSafe = &Analyzer{
+	Name:    "locksafe",
+	Doc:     "forbids holding a mutex across a channel send or transport write",
+	Section: "DESIGN.md §8 (ownership; lock ordering in the delivery path)",
+	Run:     runLockSafe,
+}
+
+func runLockSafe(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				scanLockBody(p, fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+}
+
+// syncLockCall classifies a statement as Lock/Unlock on a sync mutex,
+// returning the lock expression's label.
+func syncLockCall(p *Pass, call *ast.CallExpr) (label, method string, ok bool) {
+	recv, name, isMethod := methodCall(p.Pkg.Info, call)
+	if !isMethod {
+		return "", "", false
+	}
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	pkg, tname, okRecv := receiverNamed(recv)
+	if !okRecv || pkg == nil || pkg.Path() != "sync" {
+		return "", "", false
+	}
+	if tname != "Mutex" && tname != "RWMutex" {
+		return "", "", false
+	}
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	return exprString(sel.X), name, true
+}
+
+// scanLockBody walks a statement list tracking held locks. held maps a
+// lock label to true while held; branches get copies so an unlock in
+// one arm does not leak into the other.
+func scanLockBody(p *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		scanLockStmt(p, s, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func anyHeld(held map[string]bool) (string, bool) {
+	for k, v := range held {
+		if v {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func scanLockStmt(p *Pass, s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if label, method, ok := syncLockCall(p, call); ok {
+				switch method {
+				case "Lock", "RLock":
+					held[label] = true
+				case "Unlock", "RUnlock":
+					delete(held, label)
+				}
+				return
+			}
+		}
+		scanNested(p, s, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the remainder of the
+		// function body; leave it in the held set. A deferred Lock (odd)
+		// is ignored. Other deferred calls run after returns — skip.
+		return
+	case *ast.SendStmt:
+		if lock, ok := anyHeld(held); ok {
+			p.Reportf(s.Pos(), "channel send while holding %s: a blocked send with the lock held deadlocks every contender; stage the value and send after Unlock", lock)
+		}
+		checkLockedExpr(p, s.Chan, held)
+		checkLockedExpr(p, s.Value, held)
+	case *ast.SelectStmt:
+		if lock, ok := anyHeld(held); ok {
+			for _, c := range s.Body.List {
+				if cc, okc := c.(*ast.CommClause); okc {
+					if _, isSend := cc.Comm.(*ast.SendStmt); isSend {
+						p.Reportf(cc.Pos(), "select send case while holding %s: stage the value and send after Unlock", lock)
+					}
+				}
+			}
+		}
+		for _, c := range s.Body.List {
+			if cc, okc := c.(*ast.CommClause); okc {
+				scanLockBody(p, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		scanLockBody(p, s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			scanLockStmt(p, s.Init, held)
+		}
+		checkLockedExpr(p, s.Cond, held)
+		scanLockBody(p, s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			scanLockStmt(p, s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		scanLockBody(p, s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		scanLockBody(p, s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanLockBody(p, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanLockBody(p, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs with its own (empty) lock set.
+		scanFuncLits(p, s.Call)
+	case *ast.AssignStmt, *ast.ReturnStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.LabeledStmt:
+		scanNested(p, s, held)
+	}
+}
+
+// scanNested checks calls embedded in expressions of a statement and
+// scans nested function literals with a fresh lock set.
+func scanNested(p *Pass, n ast.Node, held map[string]bool) {
+	ast.Inspect(n, func(nn ast.Node) bool {
+		switch nn := nn.(type) {
+		case *ast.FuncLit:
+			scanLockBody(p, nn.Body.List, map[string]bool{})
+			return false
+		case *ast.CallExpr:
+			checkLockedCall(p, nn, held)
+		case *ast.SendStmt:
+			if lock, ok := anyHeld(held); ok {
+				p.Reportf(nn.Pos(), "channel send while holding %s", lock)
+			}
+		}
+		return true
+	})
+}
+
+func checkLockedExpr(p *Pass, e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	scanNested(p, e, held)
+}
+
+func scanFuncLits(p *Pass, n ast.Node) {
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if fl, ok := nn.(*ast.FuncLit); ok {
+			scanLockBody(p, fl.Body.List, map[string]bool{})
+			return false
+		}
+		return true
+	})
+}
+
+// checkLockedCall flags real-transport writes made with a lock held.
+func checkLockedCall(p *Pass, call *ast.CallExpr, held map[string]bool) {
+	lock, isHeld := anyHeld(held)
+	if !isHeld {
+		return
+	}
+	recv, name, ok := methodCall(p.Pkg.Info, call)
+	if !ok {
+		return
+	}
+	switch name {
+	case "Write", "WriteTo", "WriteToUDP", "WriteMsgUDP", "WriteToUDPAddrPort":
+	default:
+		return
+	}
+	pkg, _, ok := receiverNamed(recv)
+	if !ok || pkg == nil || pkg.Path() != "net" {
+		return
+	}
+	p.Reportf(call.Pos(), "transport write while holding %s: a full socket buffer blocks with the lock held; copy out under the lock and write after Unlock", lock)
+}

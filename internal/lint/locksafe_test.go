@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockSafeFixture(t *testing.T) {
+	RunFixture(t, LockSafe, "testdata/locksafe")
+}

@@ -1,0 +1,46 @@
+package lint
+
+import "testing"
+
+// TestRepoSelfCheck runs every analyzer over the whole module — the
+// same sweep as `go run ./cmd/pds-lint ./...` — and fails on any
+// unsuppressed finding or stale suppression. This makes plain
+// `go test ./...` enforce the DESIGN.md §11 invariants even when the
+// Makefile/CI lint step is bypassed.
+func TestRepoSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is slow; run without -short")
+	}
+	root := mustAbs(t, "../..")
+	modPath, err := ModulePath(root)
+	if err != nil {
+		t.Fatalf("ModulePath: %v", err)
+	}
+	targets, err := Expand(root, modPath, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	loader := NewLoader()
+	var pkgs []*Package
+	for _, tg := range targets {
+		pkg, err := loader.LoadDir(tg.Dir, tg.Path, false)
+		if err != nil {
+			t.Fatalf("loading %s: %v", tg.Path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	res := Run(pkgs, All())
+	for _, f := range res.Unsuppressed() {
+		t.Errorf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	for _, d := range res.Unused {
+		t.Errorf("%s:%d: unused //lint:allow %s (%s)", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Reason)
+	}
+	// The audited-suppression path must stay exercised: the repo carries
+	// a handful of justified //lint:allow sites (clock bridge, commutative
+	// Bloom adds, per-entry teardown); if this count drops to zero the
+	// suppression machinery itself has likely regressed.
+	if len(res.Suppressed()) == 0 {
+		t.Error("no suppressed findings counted; expected the repo's audited //lint:allow sites")
+	}
+}

@@ -1,0 +1,80 @@
+// Package fixture exercises the frozenmsg analyzer: true positives are
+// annotated with want comments, everything else must stay silent.
+package fixture
+
+import (
+	"pds/internal/bloom"
+	"pds/internal/wire"
+)
+
+// Envelope writes through a shared pointer are post-publish mutations.
+func mutateEnvelope(m *wire.Message) {
+	m.TransmitID = 7 // want "write to frozen wire.Message field TransmitID"
+	m.NoAck = true   // want "write to frozen wire.Message field NoAck"
+}
+
+// Body-section writes through pointer chains corrupt the shared frame.
+func mutateBody(m *wire.Message, rs []wire.NodeID) {
+	m.Query.Receivers = rs // want "write to frozen wire.Query field Receivers"
+	m.Query.HopsLeft--     // want "write to frozen wire.Query field HopsLeft"
+}
+
+// Element writes alias the shared backing array even via a value copy.
+func mutateElements(m *wire.Message) {
+	fwd := *m.Query
+	fwd.ChunkIDs[0] = 1 // want "element write into frozen wire.Query.ChunkIDs"
+	r := *m.Response
+	r.Entries[0] = r.Entries[1] // want "element write into frozen wire.Response.Entries"
+}
+
+// In-place append can write the shared backing array.
+func mutateAppend(q *wire.Query, idx int) {
+	q.ChunkIDs = append(q.ChunkIDs[:idx], q.ChunkIDs[idx+1:]...) // want "write to frozen wire.Query field ChunkIDs" "append into frozen wire.Query.ChunkIDs"
+}
+
+func mutateAppendValue(m *wire.Message) []int {
+	fwd := *m.Query
+	return append(fwd.ChunkIDs[:1], 9) // want "append into frozen wire.Query.ChunkIDs"
+}
+
+// The Bloom pointer is shared even across struct value copies.
+func mutateBloom(m *wire.Message, key string) {
+	fwd := *m.Query
+	fwd.Bloom.Add(key) // want "mutation of the shared wire.Query Bloom filter"
+}
+
+// --- Non-findings ----------------------------------------------------
+
+// Building a fresh message is the phase-1 lifecycle; writes through a
+// locally constructed pointer are fine.
+func build(rs []wire.NodeID) *wire.Message {
+	q := &wire.Query{ID: 1}
+	q.Receivers = rs
+	q.ChunkIDs = []int{1, 2}
+	q.ChunkIDs[0] = 3
+	m := &wire.Message{Type: wire.TypeQuery, Query: q}
+	m.From = 4
+	return m
+}
+
+// CoW on a value copy reassigns fields without touching shared arrays.
+func forward(m *wire.Message, f *bloom.Filter) *wire.Message {
+	fwd := *m.Query
+	fwd.Sender = 9
+	fwd.Receivers = nil
+	fwd.Bloom = f
+	return &wire.Message{Type: wire.TypeQuery, Query: &fwd}
+}
+
+// Copy-first is the sanctioned way to derive a private slice, and
+// frozen slices are fine as variadic append sources.
+func copyOut(m *wire.Message) []int {
+	ids := append([]int(nil), m.Query.ChunkIDs...)
+	ids[0] = 5
+	return ids
+}
+
+// Reading and the CoW helpers themselves are of course fine.
+func read(m *wire.Message, rs []wire.NodeID) (*wire.Message, int) {
+	return m.WithReceivers(rs), len(m.Query.ChunkIDs)
+}

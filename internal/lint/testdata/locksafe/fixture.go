@@ -1,0 +1,92 @@
+// Package fixture exercises the locksafe analyzer.
+package fixture
+
+import (
+	"net"
+	"sync"
+)
+
+type hub struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	conn *net.UDPConn
+	buf  []byte
+}
+
+// Sending with the lock held wedges every contender if the channel is
+// full.
+func (h *hub) sendLocked(v int) {
+	h.mu.Lock()
+	h.ch <- v // want "channel send while holding h.mu"
+	h.mu.Unlock()
+}
+
+// A deferred unlock keeps the lock held for the whole body.
+func (h *hub) sendDeferred(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ch <- v // want "channel send while holding h.mu"
+}
+
+// Read locks block writers just the same.
+func (h *hub) sendRLocked(v int) {
+	h.rw.RLock()
+	h.ch <- v // want "channel send while holding h.rw"
+	h.rw.RUnlock()
+}
+
+// Select send cases are sends.
+func (h *hub) selectLocked(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.ch <- v: // want "select send case while holding h.mu"
+	default:
+	}
+}
+
+// Socket writes can block on a full send buffer.
+func (h *hub) writeLocked(addr *net.UDPAddr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.conn.WriteToUDP(h.buf, addr) // want "transport write while holding h.mu"
+}
+
+// --- Non-findings ----------------------------------------------------
+
+// Stage under the lock, send after: the pattern the analyzer demands.
+func (h *hub) sendStaged(v int) {
+	h.mu.Lock()
+	staged := v + len(h.buf)
+	h.mu.Unlock()
+	h.ch <- staged
+}
+
+// An unlock on one branch releases only that branch's path.
+func (h *hub) branches(v int, fast bool) {
+	h.mu.Lock()
+	if fast {
+		h.mu.Unlock()
+		h.ch <- v
+		return
+	}
+	h.mu.Unlock()
+}
+
+// A goroutine body starts with its own empty lock set.
+func (h *hub) async(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() {
+		h.ch <- v
+	}()
+}
+
+// Receives do not block other lock contenders into a deadlock the way
+// a send into a full channel does — only sends are flagged.
+func (h *hub) recvLocked() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return <-h.ch
+}

@@ -1,0 +1,26 @@
+// Package fixture exercises the //lint:allow suppression pipeline: one
+// justified suppression, one unsuppressed violation, one stale
+// directive, one reason-less directive and one naming an unknown
+// analyzer.
+package fixture
+
+import "pds/internal/wire"
+
+func stamp(m *wire.Message) {
+	//lint:allow frozenmsg modeled link-layer stamp for the suppression test
+	m.TransmitID = 1
+	m.From = 2
+}
+
+//lint:allow frozenmsg stale directive with nothing under it
+func clean(m *wire.Message) uint64 { return m.TransmitID }
+
+func reasonless(m *wire.Message) {
+	//lint:allow frozenmsg
+	m.NoAck = true
+}
+
+func unknown(m *wire.Message) {
+	//lint:allow nosuchanalyzer reasons do not rescue unknown names
+	m.Query = nil
+}

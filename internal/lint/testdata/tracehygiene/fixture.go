@@ -1,0 +1,61 @@
+// Package fixture exercises the tracehygiene analyzer with a local
+// Tracer shaped like pds/internal/trace's: the contract applies to any
+// pointer-receiver emitter type named Tracer or NodeTracer.
+package fixture
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// NodeTracer mimics the repo's node-bound emitter.
+type NodeTracer struct {
+	notes []string
+}
+
+// Enabled tolerates nil via the comparison-return form.
+func (nt *NodeTracer) Enabled() bool { return nt != nil }
+
+// Note is a well-formed emit method: nil guard first.
+func (nt *NodeTracer) Note(s string) {
+	if nt == nil {
+		return
+	}
+	nt.notes = append(nt.notes, s)
+}
+
+// Emit lacks the guard: a nil tracer would panic, breaking the
+// tracing-off-is-free contract.
+func (nt *NodeTracer) Emit(s string) { // want "must begin with a nil-receiver guard"
+	nt.notes = append(nt.notes, s)
+}
+
+// record is unexported plumbing (like trace.Tracer.emit): only the
+// exported surface must tolerate nil.
+func (nt *NodeTracer) record(s string) {
+	nt.notes = append(nt.notes, s)
+}
+
+// --- Call sites ------------------------------------------------------
+
+func emitSites(nt *NodeTracer, key string, n int) {
+	nt.Note(key) // raw values are free
+
+	nt.Note(fmt.Sprintf("key=%s", key)) // want "fmt.Sprintf in NodeTracer.Note argument allocates"
+
+	nt.Note("key=" + key) // want "string concatenation in NodeTracer.Note argument allocates"
+
+	nt.Note(strconv.Itoa(n)) // want "strconv.Itoa in NodeTracer.Note argument allocates"
+
+	nt.Note("constant" + "-fold") // compile-time concat is free
+
+	if nt.Enabled() {
+		// The documented escape hatch: formatting behind the gate runs
+		// only when tracing is on.
+		nt.Note(fmt.Sprintf("key=%s n=%d", key, n))
+	}
+}
+
+func emitBytes(nt *NodeTracer, b []byte) {
+	nt.Note(string(b)) // want "conversion in NodeTracer.Note argument allocates"
+}

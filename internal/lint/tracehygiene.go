@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TraceHygiene guards the nil-receiver zero-alloc tracer contract of
+// DESIGN.md §9: tracing disabled (nil tracer) must cost zero
+// allocations, which holds only if (a) every emit method is a no-op on
+// a nil receiver and (b) call sites never build arguments eagerly.
+// Concretely it flags:
+//
+//   - exported pointer-receiver methods on a type named Tracer or
+//     NodeTracer whose body does not begin with a nil-receiver guard
+//     (if t == nil { return } or an equivalent nil-comparison return);
+//   - emit-call arguments that allocate before the call is even
+//     entered: fmt.Sprintf/Sprint/Sprintln/Errorf, string
+//     concatenation, strconv conversions and string([]byte)
+//     conversions. Formatting is fine when the call is wrapped in an
+//     if <tracer>.Enabled() { ... } guard — that is the documented
+//     escape hatch.
+var TraceHygiene = &Analyzer{
+	Name:    "tracehygiene",
+	Doc:     "keeps the nil-tracer path zero-alloc: nil guards in emit methods, no eager formatting at emit call sites",
+	Section: "DESIGN.md §9 (observability & tracing)",
+	Run:     runTraceHygiene,
+}
+
+// tracerTypeNames are the emitter types the contract applies to.
+var tracerTypeNames = map[string]bool{"Tracer": true, "NodeTracer": true}
+
+func runTraceHygiene(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkNilGuard(p, fd)
+			}
+		}
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkEmitArgs(p, call, stack)
+			}
+			return true
+		})
+	}
+}
+
+// checkNilGuard enforces part (a) on methods defined in the analyzed
+// package: every exported pointer-receiver method of a Tracer-shaped
+// type starts by tolerating a nil receiver.
+func checkNilGuard(p *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil || !fd.Name.IsExported() {
+		return
+	}
+	recvType := p.Pkg.Info.TypeOf(fd.Recv.List[0].Type)
+	_, name, ok := receiverNamed(recvType)
+	if !ok || !tracerTypeNames[name] {
+		return
+	}
+	if _, isPtr := recvType.Underlying().(*types.Pointer); !isPtr {
+		return
+	}
+	var recvName string
+	if len(fd.Recv.List[0].Names) > 0 {
+		recvName = fd.Recv.List[0].Names[0].Name
+	}
+	if recvName == "" || recvName == "_" {
+		p.Reportf(fd.Pos(), "%s.%s discards its receiver; emit methods must check it against nil", name, fd.Name.Name)
+		return
+	}
+	if len(fd.Body.List) > 0 && toleratesNil(fd.Body.List[0], recvName) {
+		return
+	}
+	p.Reportf(fd.Pos(), "exported method %s.%s must begin with a nil-receiver guard (if %s == nil { return }): a nil tracer is the documented disabled path",
+		name, fd.Name.Name, recvName)
+}
+
+// toleratesNil recognizes `if recv == nil { return ... }` and
+// `return <expr involving recv == nil or recv != nil>`.
+func toleratesNil(s ast.Stmt, recv string) bool {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if !nilComparison(s.Cond, recv, token.EQL) {
+			return false
+		}
+		for _, b := range s.Body.List {
+			if _, ok := b.(*ast.ReturnStmt); ok {
+				return true
+			}
+		}
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			found := false
+			ast.Inspect(e, func(n ast.Node) bool {
+				if be, ok := n.(*ast.BinaryExpr); ok &&
+					(nilComparison(be, recv, token.EQL) || nilComparison(be, recv, token.NEQ)) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func nilComparison(e ast.Expr, recv string, op token.Token) bool {
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return false
+	}
+	isRecv := func(x ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y))
+}
+
+// checkEmitArgs enforces part (b) at call sites of Tracer/NodeTracer
+// methods anywhere in the repo.
+func checkEmitArgs(p *Pass, call *ast.CallExpr, stack []ast.Node) {
+	recv, method, ok := methodCall(p.Pkg.Info, call)
+	if !ok {
+		return
+	}
+	_, name, ok := receiverNamed(recv)
+	if !ok || !tracerTypeNames[name] {
+		return
+	}
+	if guardedByEnabled(p, stack) {
+		return
+	}
+	for _, arg := range call.Args {
+		if culprit, what := eagerAlloc(p, arg); culprit != nil {
+			p.Reportf(culprit.Pos(), "%s in %s.%s argument allocates even when tracing is off; pass raw values or guard with if %s.Enabled() { ... }",
+				what, name, method, exprString(receiverExpr(call)))
+		}
+	}
+}
+
+func receiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return call.Fun
+}
+
+// guardedByEnabled reports whether any enclosing if-condition calls a
+// method named Enabled — the sanctioned gate for call sites that must
+// format.
+func guardedByEnabled(p *Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Enabled" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// eagerAlloc returns the first sub-expression of arg that allocates
+// eagerly, with a short description.
+func eagerAlloc(p *Pass, arg ast.Expr) (ast.Node, string) {
+	var culprit ast.Node
+	var what string
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if culprit != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := p.Pkg.Info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						// Constant folding is free; only flag runtime concat.
+						if tv, ok := p.Pkg.Info.Types[n]; !ok || tv.Value == nil {
+							culprit, what = n, "string concatenation"
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if pkg, fname, ok := pkgFuncCall(p.Pkg.Info, n); ok {
+				switch pkg {
+				case "fmt":
+					culprit, what = n, "fmt."+fname
+				case "strconv":
+					culprit, what = n, "strconv."+fname
+				}
+				return culprit == nil
+			}
+			// string(b) conversion of a byte/rune slice allocates.
+			if len(n.Args) == 1 {
+				if t := p.Pkg.Info.TypeOf(n.Fun); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if at := p.Pkg.Info.TypeOf(n.Args[0]); at != nil {
+							if _, isSlice := at.Underlying().(*types.Slice); isSlice {
+								culprit, what = n, "string(...) conversion"
+							}
+						}
+					}
+				}
+			}
+		}
+		return culprit == nil
+	})
+	return culprit, what
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestTraceHygieneFixture(t *testing.T) {
+	RunFixture(t, TraceHygiene, "testdata/tracehygiene")
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"pds/internal/attr"
@@ -420,11 +421,7 @@ func sortedNodeIDs(peers map[wire.NodeID]*Peer) []wire.NodeID {
 	for id := range peers {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

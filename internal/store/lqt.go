@@ -29,6 +29,12 @@ type LingeringQuery struct {
 	// later copy reinsert and re-flood the query forever), but it no
 	// longer serves or relays anything.
 	Exhausted bool
+	// Wanted is this node's private copy of a chunk query's still-wanted
+	// chunk ids. The chunk relay plane consumes it as payloads pass by
+	// (each chunk travels each reverse edge at most once per consumer
+	// chain); Query.ChunkIDs stays frozen with the shared message, like
+	// Bloom above.
+	Wanted []int
 	// forwarded records the entry keys this node has already sent
 	// toward the query (served or relayed). Unlike the query's Bloom
 	// filter — which is sized for the wire and can saturate under
@@ -80,13 +86,17 @@ func (t *LQT) Exists(id uint64, now time.Duration) bool {
 // Insert adds a query, replacing any previous copy with the same id.
 // The query itself is referenced, not copied — delivered queries are
 // immutable and may be shared by every node that heard the same frame —
-// but the Bloom filter is cloned: the table rewrites its copy as entries
-// are forwarded (§III-B.2), and mutating the query's own filter would
-// corrupt the shared message for every other holder.
+// but the mutable per-node state is cloned: the Bloom filter (the table
+// rewrites its copy as entries are forwarded, §III-B.2) and the chunk
+// wanted set (consumed as payloads relay through). Mutating the query's
+// own fields would corrupt the shared message for every other holder.
 func (t *LQT) Insert(q *wire.Query, expireAt time.Duration) *LingeringQuery {
 	lq := &LingeringQuery{Query: q, ExpireAt: expireAt}
 	if q.Bloom != nil {
 		lq.Bloom = q.Bloom.Clone()
+	}
+	if len(q.ChunkIDs) > 0 {
+		lq.Wanted = append([]int(nil), q.ChunkIDs...)
 	}
 	t.queries[q.ID] = lq
 	t.tr.LQTInsert(q.ID)
@@ -165,15 +175,20 @@ func (t *LQT) Remove(id uint64) { delete(t.queries, id) }
 // (§III-A: "a lingering query stays in the LQT until its expiration,
 // upon which it is removed").
 func (t *LQT) Expire(now time.Duration) int {
-	n := 0
+	// Collect and sort before emitting: LQTExpire events land in the
+	// trace export, which must not inherit map iteration order.
+	var expired []uint64
 	for id, lq := range t.queries {
 		if lq.ExpireAt <= now {
-			delete(t.queries, id)
-			t.tr.LQTExpire(id)
-			n++
+			expired = append(expired, id)
 		}
 	}
-	return n
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		delete(t.queries, id)
+		t.tr.LQTExpire(id)
+	}
+	return len(expired)
 }
 
 // Len returns the number of queries currently held, expired or not.

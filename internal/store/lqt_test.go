@@ -1,11 +1,13 @@
 package store
 
 import (
+	"slices"
 	"testing"
 	"time"
 
 	"pds/internal/attr"
 	"pds/internal/bloom"
+	"pds/internal/trace"
 	"pds/internal/wire"
 )
 
@@ -137,5 +139,52 @@ func TestRecentResponses(t *testing.T) {
 	rr.Prune(40 * time.Second)
 	if rr.Len() != 0 {
 		t.Fatalf("Len after prune = %d", rr.Len())
+	}
+}
+
+// TestLQTInsertClonesChunkWanted pins the frozen-message fix for the
+// chunk relay plane: the wanted set the relay consumes is the LQT's
+// private clone, so draining it never writes through to the delivered
+// query's ChunkIDs (DESIGN.md §8; enforced by the frozenmsg analyzer).
+func TestLQTInsertClonesChunkWanted(t *testing.T) {
+	lqt := NewLQT()
+	q := &wire.Query{ID: 7, Kind: wire.KindChunk, Sender: 3, ChunkIDs: []int{0, 1, 2}}
+	lq := lqt.Insert(q, time.Minute)
+	if !slices.Equal(lq.Wanted, []int{0, 1, 2}) {
+		t.Fatalf("Wanted = %v, want a clone of ChunkIDs", lq.Wanted)
+	}
+	// Consume a chunk and scribble on the remainder, as the relay does.
+	lq.Wanted = append(lq.Wanted[:1], lq.Wanted[2:]...)
+	lq.Wanted[0] = 99
+	if !slices.Equal(q.ChunkIDs, []int{0, 1, 2}) {
+		t.Fatalf("delivered query's ChunkIDs mutated to %v; it must stay frozen", q.ChunkIDs)
+	}
+}
+
+// TestLQTExpireEmitsSortedIDs pins the determinism fix in Expire: the
+// LQTExpire trace events must come out in query-id order, not map
+// iteration order, so same-seed trace exports stay byte-identical.
+func TestLQTExpireEmitsSortedIDs(t *testing.T) {
+	tr := trace.New(func() time.Duration { return 0 }, 64)
+	lqt := NewLQT()
+	lqt.SetTracer(tr.ForNode(1))
+	ids := []uint64{9, 3, 7, 1, 5, 8, 2, 6, 4, 12, 10, 11}
+	for _, id := range ids {
+		lqt.Insert(&wire.Query{ID: id, Kind: wire.KindMetadata}, time.Second)
+	}
+	if n := lqt.Expire(2 * time.Second); n != len(ids) {
+		t.Fatalf("Expire = %d, want %d", n, len(ids))
+	}
+	var got []uint64
+	for _, e := range tr.Events() {
+		if e.Kind == trace.LQTExpire {
+			got = append(got, e.Msg)
+		}
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("LQTExpire events = %d, want %d", len(got), len(ids))
+	}
+	if !slices.IsSorted(got) {
+		t.Fatalf("LQTExpire ids not sorted: %v", got)
 	}
 }

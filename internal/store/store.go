@@ -320,6 +320,7 @@ func (s *DataStore) purgeExpired(now time.Duration) {
 	s.cacheOrder = kept
 	// Spilled payloads left cacheOrder when they were evicted from RAM;
 	// reclaim their disk records too once their lease lapses.
+	//lint:allow determinism per-entry removal; unindexChunk only deletes that entry's own index records
 	for key := range s.spilled {
 		e, ok := s.entries[key]
 		if ok && s.live(e, now) {
@@ -421,6 +422,7 @@ func (s *DataStore) WipeCached() {
 	}
 	// Rebuild the chunk index from the surviving (owned) payloads.
 	s.chunkIndex = make(map[string]map[int]string)
+	//lint:allow determinism per-entry rebuild; indexChunk only inserts that entry's own index records
 	for k := range s.payloads {
 		if e, ok := s.entries[k]; ok {
 			s.indexChunk(e.Desc, k)

@@ -554,8 +554,11 @@ type jsonEvent struct {
 }
 
 // WriteJSONL writes every buffered event as one JSON object per line,
-// in sequence order.
+// in sequence order. A nil tracer has no events and writes nothing.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	return WriteJSONL(w, t.Events())
 }
 

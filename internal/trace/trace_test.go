@@ -154,3 +154,16 @@ func TestMsgID(t *testing.T) {
 		}
 	}
 }
+
+// TestNilTracerWriteJSONL pins the tracehygiene fix: a nil tracer is
+// the documented disabled path and must write nothing, not panic.
+func TestNilTracerWriteJSONL(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("nil tracer WriteJSONL: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil tracer wrote %q", buf.String())
+	}
+}

@@ -269,6 +269,16 @@ type Message struct {
 	Fragment *Fragment
 }
 
+// Stamp is the link layer's final build step: it assigns the per-hop
+// envelope — TransmitID, transmitting node and ack expectation — just
+// before the frame first leaves (lifecycle step 1 above). It must not
+// be called after publication; the body is untouched either way.
+func (m *Message) Stamp(transmitID uint64, from NodeID, noAck bool) {
+	m.TransmitID = transmitID
+	m.From = from
+	m.NoAck = noAck
+}
+
 // Receivers returns the intended receiver list of the body (nil for
 // acks, which are addressed by their MsgID bookkeeping instead).
 func (m *Message) Receivers() []NodeID {
