@@ -38,10 +38,12 @@ verify: lint
 	$(GO) test -race ./...
 
 # fuzz runs short bursts of the decode fuzzers: the codec, the datagram
-# framing above it, and the persistent store's record framing below it.
+# framing above it, the tracker wire protocol, and the persistent
+# store's record framing below it.
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/udptransport -fuzz FuzzDecodeDatagram -fuzztime 30s
+	$(GO) test ./internal/tracker -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/diskstore -fuzz FuzzSegmentDecode -fuzztime 30s
 
 # bench regenerates every figure with machine-readable output in

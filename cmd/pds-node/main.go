@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"pds"
+	"pds/internal/origin"
 )
 
 func main() {
@@ -51,6 +52,13 @@ func run(args []string) error {
 	port := fs.Int("port", 9753, "UDP broadcast port (LAN mode)")
 	listen := fs.String("listen", "", "explicit listen address (loopback mode), e.g. 127.0.0.1:9701")
 	peers := fs.String("peers", "", "comma-separated loopback peer ports (loopback mode)")
+	transport := fs.String("transport", "udp", "transport plane: udp (broadcast/loopback) or tcp (supervised unicast faces)")
+	tcpListen := fs.String("tcp-listen", ":9755", "TCP listen address for -transport tcp (empty = dial-only)")
+	tcpPeers := fs.String("tcp-peers", "", "comma-separated TCP peer addresses for -transport tcp, e.g. 127.0.0.1:9755,127.0.0.1:9756")
+	trackers := fs.String("trackers", "", "comma-separated pds-tracker addresses for edge-peer discovery, in priority order")
+	originURL := fs.String("origin", "", "HTTP origin base URL: the retrieval tier of last resort")
+	originListen := fs.String("origin-listen", "",
+		"with -share: also serve the shared chunks over HTTP (origin protocol) on this address, e.g. 127.0.0.1:8080")
 	share := fs.String("share", "", "path of a file to publish")
 	name := fs.String("name", "", "name attribute for the shared file (default: the path)")
 	namespace := fs.String("namespace", "files", "namespace attribute")
@@ -76,17 +84,30 @@ func run(args []string) error {
 	defer stop()
 
 	var (
-		trans pds.Transport
-		err   error
+		trans    pds.Transport
+		facePeer []string
+		err      error
 	)
-	if *listen != "" || *peers != "" {
-		ownPort, peerPorts, perr := parseLoopback(*listen, *peers)
-		if perr != nil {
-			return perr
+	switch *transport {
+	case "tcp":
+		for _, a := range strings.Split(*tcpPeers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				facePeer = append(facePeer, a)
+			}
 		}
-		trans, err = pds.NewLoopbackTransport(ownPort, peerPorts)
-	} else {
-		trans, err = pds.NewUDPTransport(*port)
+		trans, err = pds.NewFaceTransport(pds.DefaultFaceConfig(*tcpListen), facePeer...)
+	case "udp":
+		if *listen != "" || *peers != "" {
+			ownPort, peerPorts, perr := parseLoopback(*listen, *peers)
+			if perr != nil {
+				return perr
+			}
+			trans, err = pds.NewLoopbackTransport(ownPort, peerPorts)
+		} else {
+			trans, err = pds.NewUDPTransport(*port)
+		}
+	default:
+		return fmt.Errorf("unknown -transport %q (udp or tcp)", *transport)
 	}
 	if err != nil {
 		return err
@@ -107,12 +128,30 @@ func run(args []string) error {
 	} else if *persistCache {
 		return fmt.Errorf("-persist-cache requires -data-dir")
 	}
+	if *trackers != "" {
+		var addrs []string
+		for _, a := range strings.Split(*trackers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		opts = append(opts, pds.WithTrackers(addrs...))
+	}
+	if *originURL != "" {
+		opts = append(opts, pds.WithOrigin(pds.NewHTTPOrigin(*originURL, 0)))
+	}
 	node, err := pds.NewNode(trans, opts...)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
 	fmt.Printf("node %d up\n", node.ID())
+	if m, ok := trans.(*pds.FaceMesh); ok {
+		fmt.Printf("face mesh on %v, %d configured peers\n", m.ListenAddr(), len(facePeer))
+		if len(facePeer) > 0 && !m.WaitReady(1, 5*time.Second) {
+			fmt.Println("warning: no face came up within 5s; supervisors keep retrying")
+		}
+	}
 	if st, ok := node.DiskStats(); ok {
 		fmt.Printf("data dir %s: %d records recovered in %v (%d skipped)\n",
 			*dataDir, st.LastRecovery.Records, st.LastRecovery.Duration.Round(time.Millisecond),
@@ -145,6 +184,24 @@ func run(args []string) error {
 		desc = node.PublishItem(desc, payload, pds.DefaultChunkSize)
 		fmt.Printf("sharing %q: %d bytes, %d chunks; serving for %v\n",
 			label, len(payload), desc.TotalChunks(), *stay)
+		if *originListen != "" {
+			// Serve the same chunks over the origin protocol, so peers
+			// configured with -origin can fall back here when the P2P
+			// swarm cannot produce them.
+			st := origin.NewStatic()
+			for c, off := 0, 0; c < desc.TotalChunks(); c++ {
+				end := off + pds.DefaultChunkSize
+				if end > len(payload) {
+					end = len(payload)
+				}
+				st.Put(desc.WithChunk(c), payload[off:end])
+				off = end
+			}
+			osrv := &http.Server{Addr: *originListen, Handler: origin.Handler(st)}
+			go osrv.ListenAndServe()
+			defer osrv.Close()
+			fmt.Printf("origin serving %d chunks on http://%s/\n", desc.TotalChunks(), *originListen)
+		}
 		select {
 		case <-time.After(*stay):
 		case <-sigCtx.Done():
@@ -177,8 +234,20 @@ func run(args []string) error {
 		if len(entries) == 0 {
 			return fmt.Errorf("no item named %q found nearby", *fetch)
 		}
-		data, err := node.Retrieve(ctx, entries[0])
-		if err != nil {
+		var data []byte
+		if *trackers != "" || *originURL != "" {
+			// Deployment plane configured: run the tiered ladder —
+			// local → P2P → tracker-learned edge peers → origin.
+			res, terr := node.RetrieveTiered(ctx, entries[0])
+			if terr != nil {
+				return terr
+			}
+			fmt.Printf("tiers: %s\n", res.Counters.String())
+			if !res.Complete {
+				return fmt.Errorf("retrieve %q: incomplete, missing chunks %v", *fetch, res.Missing)
+			}
+			data, _ = res.Assemble()
+		} else if data, err = node.Retrieve(ctx, entries[0]); err != nil {
 			return err
 		}
 		if *out != "" {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"text/tabwriter"
 	"time"
 
@@ -35,6 +36,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pds-trace", flag.ContinueOnError)
 	queryID := fs.Uint64("query", 0, "print this query root in detail (0 = list all roots)")
+	tiers := fs.Bool("tiers", false, "print per-chunk tier attribution (tiered retrievals)")
 	asJSON := fs.Bool("json", false, "emit the summaries as JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,11 +79,16 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *tiers {
+		return printTiers(a)
+	}
+
 	fmt.Printf("%d events, %d query roots", a.Events, len(a.Queries))
 	if a.Unrooted > 0 {
 		fmt.Printf(", %d unrooted response events", a.Unrooted)
 	}
 	fmt.Println()
+	printTierSummary(a)
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "QUERY\tNODE\tKIND\tROUND\tSTART\tHOPS\tDEPTH\tRESPS\tENTRIES\tRELAYS\tMERGES\tSUPPR\tSUBQ\tFRAMES\tAIRTIME")
 	for _, q := range a.Queries {
@@ -92,6 +99,63 @@ func run(args []string) error {
 			q.Frames, fmtDur(q.Airtime))
 	}
 	return w.Flush()
+}
+
+// tierOrder fixes the display order of tier attributions.
+var tierOrder = []string{"local", "p2p", "edge", "origin", "missing"}
+
+// printTierSummary prints one aggregate line per serving tier when the
+// trace contains tiered-retrieval attributions.
+func printTierSummary(a *trace.Analysis) {
+	if len(a.Tiers) == 0 {
+		return
+	}
+	fmt.Printf("tiered retrieval: %d chunk attributions —", len(a.ChunkServes))
+	for _, tier := range tierNames(a) {
+		tc := a.Tiers[tier]
+		fmt.Printf(" %s=%d (%d B)", tier, tc.Chunks, tc.Bytes)
+	}
+	fmt.Println()
+}
+
+// printTiers prints every chunk's serving tier, one row per ChunkTier
+// event, then the aggregate.
+func printTiers(a *trace.Analysis) error {
+	if len(a.ChunkServes) == 0 {
+		fmt.Println("no tier attributions in trace (pure-P2P run, or tracing was off)")
+		return nil
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "NODE\tCHUNK\tTIER\tBYTES\tAT")
+	for _, cs := range a.ChunkServes {
+		fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%s\n", cs.Node, cs.Chunk, cs.Tier, cs.Bytes, fmtDur(cs.T))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printTierSummary(a)
+	return nil
+}
+
+// tierNames lists the tiers present in the analysis, canonical order
+// first, then any unknown notes sorted.
+func tierNames(a *trace.Analysis) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, t := range tierOrder {
+		if _, ok := a.Tiers[t]; ok {
+			out = append(out, t)
+			seen[t] = true
+		}
+	}
+	var extra []string
+	for t := range a.Tiers {
+		if !seen[t] {
+			extra = append(extra, t)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
 }
 
 func printDetail(q *trace.QuerySummary) {

@@ -1,0 +1,61 @@
+// Command pds-tracker runs a standalone PDS tracker: a TTL-heartbeat
+// peer index that pds-node instances announce their face addresses to
+// and query for edge peers. Run several and give nodes the full list —
+// the client side fails over and keeps a stale cache, so losing
+// trackers degrades discovery instead of stopping it.
+//
+// Usage:
+//
+//	pds-tracker -listen :9760
+//	pds-node ... -trackers host1:9760,host2:9760
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pds/internal/tracker"
+)
+
+func main() {
+	listen := flag.String("listen", ":9760", "UDP address to serve the tracker protocol on")
+	ttl := flag.Duration("ttl", 45*time.Second, "default entry TTL for announces that carry none")
+	maxEntries := flag.Int("max-peers", 4096, "maximum peers in the index")
+	verbose := flag.Bool("verbose", false, "print a stats line every 10s")
+	flag.Parse()
+
+	srv, err := tracker.NewServer(*listen, tracker.ServerOptions{
+		DefaultTTL: *ttl,
+		MaxEntries: *maxEntries,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("pds-tracker: serving on %s (ttl %s)\n", srv.Addr(), *ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *verbose {
+		tick := time.NewTicker(10 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				st := srv.Stats()
+				fmt.Printf("pds-tracker: peers=%d announces=%d queries=%d expired=%d bad=%d\n",
+					srv.PeerCount(), st.Announces, st.Queries, st.Expired, st.BadPackets)
+			case <-sig:
+				srv.Close()
+				return
+			}
+		}
+	}
+	<-sig
+	srv.Close()
+}

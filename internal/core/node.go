@@ -173,6 +173,9 @@ type Stats struct {
 	NeighborsDead      uint64 // neighbors declared dead (all CDI routes dropped)
 	ChunkDupDeliveries uint64 // chunk payloads delivered more than once
 	RoundExtensions    uint64 // discovery rounds added by loss detection
+
+	ChunksInjected   uint64 // chunks injected from the edge/origin tiers
+	FacePeerFailures uint64 // face circuit-breaker trips reported to this node
 }
 
 // Node is one PDS protocol endpoint.

@@ -98,6 +98,23 @@ func (n *Node) Retrieve(item attr.Descriptor, cb func(RetrievalResult)) {
 // after every chunk arrival with (chunks held, total chunks). It fires
 // before the final callback and never after it.
 func (n *Node) RetrieveWithProgress(item attr.Descriptor, progress func(done, total int), cb func(RetrievalResult)) {
+	n.RetrieveWithOptions(item, RetrieveOptions{Progress: progress}, cb)
+}
+
+// RetrieveOptions tune one retrieval session.
+type RetrieveOptions struct {
+	// Deadline overrides Config.RetrievalDeadline for this session
+	// when positive. The tiered retrieval path budgets each P2P pass
+	// with it so a dead swarm cannot eat the whole retrieval window
+	// before the origin tier gets its turn.
+	Deadline time.Duration
+	// Progress, if set, is invoked after every chunk arrival with
+	// (chunks held, total chunks).
+	Progress func(done, total int)
+}
+
+// RetrieveWithOptions is Retrieve with per-session options.
+func (n *Node) RetrieveWithOptions(item attr.Descriptor, opts RetrieveOptions, cb func(RetrievalResult)) {
 	item = item.ItemDescriptor()
 	r := &retrieval{
 		n:           n,
@@ -105,7 +122,7 @@ func (n *Node) RetrieveWithProgress(item attr.Descriptor, progress func(done, to
 		itemKey:     item.Key(),
 		total:       item.TotalChunks(),
 		cb:          cb,
-		progress:    progress,
+		progress:    opts.Progress,
 		start:       n.clk.Now(),
 		requestedAt: make(map[int]time.Duration),
 	}
@@ -124,7 +141,11 @@ func (n *Node) RetrieveWithProgress(item attr.Descriptor, progress func(done, to
 		r.finish(n.clk.Now())
 		return
 	}
-	if d := n.cfg.RetrievalDeadline; d > 0 {
+	deadline := n.cfg.RetrievalDeadline
+	if opts.Deadline > 0 {
+		deadline = opts.Deadline
+	}
+	if d := deadline; d > 0 {
 		epoch := n.epoch
 		r.cancelDeadline = n.clk.Schedule(d, func() {
 			if !r.done && n.epoch == epoch {

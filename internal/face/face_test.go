@@ -1,0 +1,449 @@
+package face
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/wire"
+)
+
+// testConfig returns fast-cycling settings for unit tests: listener on
+// an ephemeral loopback port, tight timeouts so failures surface in
+// milliseconds.
+func testConfig(self wire.NodeID) Config {
+	cfg := DefaultConfig("127.0.0.1:0")
+	cfg.Self = self
+	cfg.DialTimeout = 500 * time.Millisecond
+	cfg.WriteTimeout = 500 * time.Millisecond
+	cfg.HelloTimeout = 500 * time.Millisecond
+	cfg.HeartbeatEvery = 100 * time.Millisecond
+	cfg.HeartbeatMiss = 3
+	cfg.RetryBase = 10 * time.Millisecond
+	cfg.RetryMax = 50 * time.Millisecond
+	cfg.BreakerAfter = 3
+	cfg.BreakerCooldown = 100 * time.Millisecond
+	cfg.Seed = 1
+	return cfg
+}
+
+func newTestMesh(t *testing.T, self wire.NodeID) *Mesh {
+	t.Helper()
+	m, err := NewMesh(testConfig(self))
+	if err != nil {
+		t.Fatalf("NewMesh: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// collector gathers received messages thread-safely.
+type collector struct {
+	mu   sync.Mutex
+	msgs []*wire.Message
+}
+
+func (c *collector) add(m *wire.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func (c *collector) wait(t *testing.T, n int, d time.Duration) []*wire.Message {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		if len(c.msgs) >= n {
+			out := append([]*wire.Message(nil), c.msgs...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.Fatalf("got %d messages, want %d", len(c.msgs), n)
+	return nil
+}
+
+func testQuery(id uint64) *wire.Message {
+	return &wire.Message{
+		Type:       wire.TypeQuery,
+		TransmitID: id,
+		From:       1,
+		Query: &wire.Query{
+			ID:   id,
+			Kind: wire.KindMetadata,
+			Sel:  attr.NewQuery(attr.Eq("a", attr.Int(1))),
+		},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	msg := testQuery(42)
+	payload, err := wire.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := appendMsgFrame(nil, payload)
+	typ, body, _, err := readFrame(bytes.NewReader(frame), nil, 1<<20)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if typ != frameMsg {
+		t.Fatalf("type = %d, want %d", typ, frameMsg)
+	}
+	got, err := decodeMsgBody(body)
+	if err != nil {
+		t.Fatalf("decodeMsgBody: %v", err)
+	}
+	if got.Query == nil || got.Query.ID != 42 {
+		t.Fatalf("decoded wrong message: %+v", got)
+	}
+
+	// Bit damage must fail the CRC, not decode garbage.
+	frame[len(frame)-1] ^= 0xff
+	_, body, _, err = readFrame(bytes.NewReader(frame), nil, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeMsgBody(body); err == nil {
+		t.Fatal("damaged body decoded")
+	}
+
+	// Oversized length prefix must be rejected before allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, frameMsg}
+	if _, _, _, err := readFrame(bytes.NewReader(huge), nil, 1<<20); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestMeshSendReceive(t *testing.T) {
+	a := newTestMesh(t, 1)
+	b := newTestMesh(t, 2)
+	var gotA, gotB collector
+	a.SetReceiver(gotA.add)
+	b.SetReceiver(gotB.add)
+
+	if !b.AddPeer(a.ListenAddr().String()) {
+		t.Fatal("AddPeer refused")
+	}
+	if !b.WaitReady(1, 5*time.Second) {
+		t.Fatal("face never came up")
+	}
+
+	// Dialed direction.
+	if !b.Send(testQuery(7)) {
+		t.Fatal("b.Send failed")
+	}
+	msgs := gotA.wait(t, 1, 5*time.Second)
+	if msgs[0].Query.ID != 7 {
+		t.Fatalf("wrong message: %+v", msgs[0])
+	}
+
+	// Accepted direction: a's accepted face reaches back to b.
+	if !a.WaitReady(1, 5*time.Second) {
+		t.Fatal("accepted face not counted")
+	}
+	if !a.Send(testQuery(8)) {
+		t.Fatal("a.Send failed")
+	}
+	if gotB.wait(t, 1, 5*time.Second)[0].Query.ID != 8 {
+		t.Fatal("wrong message on accepted path")
+	}
+
+	as, bs := a.Stats(), b.Stats()
+	if bs.MsgsSent != 1 || as.MsgsReceived != 1 {
+		t.Fatalf("stats: a=%+v b=%+v", as, bs)
+	}
+	if as.FacesUp != 1 || bs.FacesUp != 1 {
+		t.Fatalf("gauges: a=%d b=%d", as.FacesUp, bs.FacesUp)
+	}
+}
+
+func TestPerPeerSendDedup(t *testing.T) {
+	// Both meshes dial each other: each ends up with a dialed AND an
+	// accepted face to the same peer. A message must still arrive once.
+	a := newTestMesh(t, 1)
+	b := newTestMesh(t, 2)
+	var gotA collector
+	a.SetReceiver(gotA.add)
+	b.SetReceiver(func(*wire.Message) {})
+
+	a.AddPeer(b.ListenAddr().String())
+	b.AddPeer(a.ListenAddr().String())
+	if !a.WaitReady(2, 5*time.Second) || !b.WaitReady(2, 5*time.Second) {
+		t.Fatal("faces never came up")
+	}
+
+	if !b.Send(testQuery(9)) {
+		t.Fatal("send failed")
+	}
+	gotA.wait(t, 1, 5*time.Second)
+	// Allow any duplicate to arrive, then assert there was none.
+	time.Sleep(200 * time.Millisecond)
+	if n := gotA.count(); n != 1 {
+		t.Fatalf("message delivered %d times, want 1", n)
+	}
+}
+
+func TestSupervisorReconnects(t *testing.T) {
+	a := newTestMesh(t, 1)
+	addr := a.ListenAddr().String()
+	b := newTestMesh(t, 2)
+	b.SetReceiver(func(*wire.Message) {})
+	b.AddPeer(addr)
+	if !b.WaitReady(1, 5*time.Second) {
+		t.Fatal("initial face never came up")
+	}
+
+	// Kill the remote side; the supervisor must notice and redial until
+	// a new mesh appears on the same address.
+	a.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.UpCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("face still up after remote close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cfg := testConfig(3)
+	cfg.ListenAddr = addr
+	var a2 *Mesh
+	var err error
+	for i := 0; i < 50; i++ { // the OS may briefly hold the port
+		if a2, err = NewMesh(cfg); err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer a2.Close()
+	var got collector
+	a2.SetReceiver(got.add)
+
+	if !b.WaitReady(1, 10*time.Second) {
+		t.Fatal("supervisor never reconnected")
+	}
+	if !b.Send(testQuery(11)) {
+		t.Fatal("send after reconnect failed")
+	}
+	got.wait(t, 1, 5*time.Second)
+	if b.Stats().Dials < 2 {
+		t.Fatalf("expected redials, stats: %+v", b.Stats())
+	}
+}
+
+// resetChaos resets every message write, so connections come up (hello
+// is not a message frame) but die on first use.
+type resetChaos struct{}
+
+func (resetChaos) DialFault(string) bool                { return false }
+func (resetChaos) ConnFault(string) (reset, stall bool) { return true, false }
+
+func TestBreakerReportsPeerDown(t *testing.T) {
+	a := newTestMesh(t, 1)
+	a.SetReceiver(func(*wire.Message) {})
+
+	cfg := testConfig(2)
+	cfg.ListenAddr = "" // dial-only
+	cfg.Chaos = resetChaos{}
+	// Long heartbeat so short-lived connections never clear the streak.
+	cfg.HeartbeatEvery = time.Minute
+	b, err := NewMesh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var downMu sync.Mutex
+	var downPeers []wire.NodeID
+	b.OnPeerDown(func(id wire.NodeID) {
+		downMu.Lock()
+		downPeers = append(downPeers, id)
+		downMu.Unlock()
+	})
+	b.AddPeer(a.ListenAddr().String())
+
+	// Keep sending; every write is reset, every connection counts as a
+	// consecutive failure, and the breaker must trip and name peer 1.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b.WaitReady(1, time.Second)
+		b.Send(testQuery(1))
+		downMu.Lock()
+		n := len(downPeers)
+		downMu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never tripped: %+v", b.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	downMu.Lock()
+	peer := downPeers[0]
+	downMu.Unlock()
+	if peer != 1 {
+		t.Fatalf("peer down = %d, want 1", peer)
+	}
+	st := b.Stats()
+	if st.BreakerTrips == 0 || st.ConnResets == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDialFailureBackoffAndBreaker(t *testing.T) {
+	// Reserve an address with nothing listening on it.
+	dead, err := NewMesh(testConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.ListenAddr().String()
+	dead.Close()
+
+	b := newTestMesh(t, 2)
+	b.AddPeer(addr)
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Stats().BreakerTrips == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never tripped on dial failures: %+v", b.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := b.Stats()
+	if st.DialFailures < uint64(b.cfg.BreakerAfter) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSelfConnectionStops(t *testing.T) {
+	m := newTestMesh(t, 5)
+	m.SetReceiver(func(*wire.Message) {})
+	if !m.AddPeer(m.ListenAddr().String()) {
+		t.Fatal("AddPeer refused")
+	}
+	// The dialed face must recognize its own hello and stop for good:
+	// no face settles into the up state.
+	time.Sleep(500 * time.Millisecond)
+	if up := m.UpCount(); up != 0 {
+		t.Fatalf("self-connection stayed up (%d faces)", up)
+	}
+	if m.Stats().Dials == 0 {
+		t.Fatal("face never dialed")
+	}
+}
+
+func TestVirtualFragmentOverFaces(t *testing.T) {
+	a := newTestMesh(t, 1)
+	b := newTestMesh(t, 2)
+	var got collector
+	a.SetReceiver(got.add)
+	b.SetReceiver(func(*wire.Message) {})
+	b.AddPeer(a.ListenAddr().String())
+	if !b.WaitReady(1, 5*time.Second) {
+		t.Fatal("face never came up")
+	}
+
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	whole := &wire.Message{
+		Type:       wire.TypeResponse,
+		TransmitID: 1,
+		From:       2,
+		Response: &wire.Response{
+			ID:        7,
+			Kind:      wire.KindChunk,
+			Receivers: []wire.NodeID{1},
+			Blobs:     []wire.Blob{{Desc: attr.NewDescriptor().Set("c", attr.Int(0)), Payload: payload}},
+		},
+	}
+	size := wire.EncodedSize(whole)
+	fragBytes := b.cfg.FragmentBytes
+	count := (size + fragBytes - 1) / fragBytes
+	for i := 0; i < count; i++ {
+		fsize := fragBytes
+		if i == count-1 {
+			fsize = size - (count-1)*fragBytes
+		}
+		frag := &wire.Message{
+			Type:       wire.TypeFragment,
+			TransmitID: uint64(100 + i),
+			From:       2,
+			Fragment: &wire.Fragment{
+				OrigID: 55, Index: i, Count: count,
+				Receivers: []wire.NodeID{1},
+				Size:      fsize,
+				Whole:     whole,
+			},
+		}
+		if !b.Send(frag) {
+			t.Fatalf("send fragment %d failed", i)
+		}
+	}
+	msgs := got.wait(t, count, 5*time.Second)
+	byIndex := make([][]byte, count)
+	for _, m := range msgs {
+		if m.Type != wire.TypeFragment || m.Fragment.Data == nil {
+			t.Fatalf("expected materialized fragment, got %+v", m)
+		}
+		byIndex[m.Fragment.Index] = m.Fragment.Data
+	}
+	var buf []byte
+	for _, part := range byIndex {
+		buf = append(buf, part...)
+	}
+	decoded, err := wire.Decode(buf)
+	if err != nil {
+		t.Fatalf("decode reassembled: %v", err)
+	}
+	if decoded.Response == nil || len(decoded.Response.Blobs[0].Payload) != len(payload) {
+		t.Fatal("reassembled message wrong")
+	}
+}
+
+func TestCloseIdempotentAndRemovePeer(t *testing.T) {
+	a := newTestMesh(t, 1)
+	b := newTestMesh(t, 2)
+	b.SetReceiver(func(*wire.Message) {})
+	a.SetReceiver(func(*wire.Message) {})
+	addr := a.ListenAddr().String()
+	b.AddPeer(addr)
+	if b.AddPeer(addr) {
+		t.Fatal("duplicate AddPeer accepted")
+	}
+	b.WaitReady(1, 5*time.Second)
+	b.RemovePeer(addr)
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().PeersKnown != 0 || b.UpCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer not removed: %+v", b.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b.AddPeer(addr) {
+		t.Fatal("AddPeer on closed mesh accepted")
+	}
+}

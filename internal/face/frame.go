@@ -1,0 +1,92 @@
+package face
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"pds/internal/wire"
+)
+
+// Stream framing: every frame is a 4-byte big-endian length (counting
+// the type byte and body), a 1-byte type, and the body. Message bodies
+// carry a CRC32 of the encoded payload in front of it — TCP's checksum
+// is end-to-end weak for multi-megabyte transfers, and reusing the
+// udptransport framing discipline keeps damaged frames out of the
+// codec.
+const (
+	frameHello = 1 // body: 4-byte BE node id
+	framePing  = 2 // empty body
+	framePong  = 3 // empty body
+	frameMsg   = 4 // body: 4-byte BE CRC32(payload) + wire-encoded payload
+
+	lenSize = 4
+	crcSize = 4
+)
+
+// Preframed keepalive frames, shared read-only across all faces.
+var (
+	pingFrame = []byte{0, 0, 0, 1, framePing}
+	pongFrame = []byte{0, 0, 0, 1, framePong}
+)
+
+var (
+	errFrameLength = errors.New("face: bad frame length")
+	errChecksum    = errors.New("face: message frame checksum mismatch")
+)
+
+// helloFrame builds a hello frame announcing the local node id.
+func helloFrame(id wire.NodeID) []byte {
+	out := make([]byte, lenSize+1+4)
+	binary.BigEndian.PutUint32(out, 1+4)
+	out[lenSize] = frameHello
+	binary.BigEndian.PutUint32(out[lenSize+1:], uint32(id))
+	return out
+}
+
+// appendMsgFrame frames an already wire-encoded payload into dst:
+// length, type, CRC, payload.
+func appendMsgFrame(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+crcSize+len(payload)))
+	dst = append(dst, frameMsg)
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// readFrame reads one frame from r into buf (grown as needed) and
+// returns the type, the body (aliasing buf — valid until the next
+// call), and the grown buffer.
+func readFrame(r io.Reader, buf []byte, maxFrame int) (typ byte, body, out []byte, err error) {
+	var hdr [lenSize]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n < 1 || n > maxFrame {
+		return 0, nil, buf, fmt.Errorf("%w: %d", errFrameLength, n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, err
+	}
+	return buf[0], buf[1:], buf, nil
+}
+
+// decodeMsgBody verifies the CRC and decodes the message. The codec
+// copies out everything it keeps, so the body buffer can be reused the
+// moment this returns.
+func decodeMsgBody(body []byte) (*wire.Message, error) {
+	if len(body) < crcSize {
+		return nil, errChecksum
+	}
+	payload := body[crcSize:]
+	if binary.BigEndian.Uint32(body) != crc32.ChecksumIEEE(payload) {
+		return nil, errChecksum
+	}
+	return wire.Decode(payload)
+}

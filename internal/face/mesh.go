@@ -1,0 +1,558 @@
+// Package face is the supervised unicast transport plane: TCP (and
+// loopback) faces behind the pds.Transport surface, in the CCN sense of
+// a "face" — a point-to-point adjacency the forwarding plane treats
+// uniformly, with no broadcast assumption (Garcia-Luna-Aceves &
+// Mirzazad, arXiv:1608.04017). A Mesh owns a set of faces: dialed ones
+// it supervises (dial retry with capped exponential backoff and
+// deterministic jitter, write deadlines, heartbeat keepalive, and a
+// consecutive-failure circuit breaker that reports the peer to the
+// neighbor-health blacklist) and accepted ones from its listener.
+//
+// Send fans every frame out to all up faces, one frame per distinct
+// peer, so the protocol's broadcast-shaped behaviors — overhearing,
+// lingering-query matching at relays, Bloom rewriting — run unchanged
+// over unicast: the mesh is the neighborhood. Frames reuse the wire
+// encode paths with length-prefixed CRC framing; virtual fragments are
+// materialized exactly like udptransport, by encoding the whole message
+// once and slicing it.
+package face
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"pds/internal/trace"
+	"pds/internal/wire"
+)
+
+// Chaos injects deterministic face-level faults; implemented by
+// fault.FaceInjector. All methods must be safe for concurrent use.
+type Chaos interface {
+	// DialFault reports whether this dial attempt should fail.
+	DialFault(addr string) bool
+	// ConnFault is consulted before each outbound message frame: reset
+	// tears the connection down as if the peer sent RST; stall makes
+	// the write block until the write deadline expires.
+	ConnFault(addr string) (reset, stall bool)
+}
+
+// Config configures a Mesh.
+type Config struct {
+	// ListenAddr is the TCP address to accept faces on, e.g.
+	// "127.0.0.1:0" or ":9754". Empty means dial-only.
+	ListenAddr string
+	// Self is the local node id announced in the hello exchange. It
+	// can be set later with SetLocalID, but must be set before faces
+	// come up for per-peer send dedup and breaker attribution to work.
+	Self wire.NodeID
+	// FragmentBytes must match the link layer's FragmentBytes so
+	// virtual fragments slice the encoded message consistently.
+	FragmentBytes int
+	// MaxFrame bounds inbound frames (guards decode-time allocation).
+	MaxFrame int
+	// DialTimeout bounds one dial attempt.
+	DialTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline; a blocked peer
+	// socket counts as a connection failure instead of wedging the
+	// writer.
+	WriteTimeout time.Duration
+	// HelloTimeout bounds the hello exchange after connecting.
+	HelloTimeout time.Duration
+	// HeartbeatEvery is the keepalive interval: an idle face sends a
+	// ping this often, and a face that hears nothing for
+	// HeartbeatMiss intervals is torn down.
+	HeartbeatEvery time.Duration
+	// HeartbeatMiss is how many silent heartbeat intervals mark a
+	// face dead.
+	HeartbeatMiss int
+	// RetryBase and RetryMax bound the capped exponential dial
+	// backoff; attempt n waits RetryBase<<(n-1), capped at RetryMax,
+	// plus deterministic jitter in [0, wait/2).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// BreakerAfter is the consecutive-failure count that trips the
+	// circuit breaker; the face then reports its peer down (feeding
+	// the neighbor-health blacklist) and pauses dialing for
+	// BreakerCooldown.
+	BreakerAfter    int
+	BreakerCooldown time.Duration
+	// OutboxFrames bounds each face's send queue; full queues drop
+	// frames (counted, traced) rather than block the protocol.
+	OutboxFrames int
+	// Seed drives the backoff jitter; identical seeds and failure
+	// sequences produce identical retry schedules.
+	Seed int64
+	// Chaos optionally injects face faults (dial-fail, conn-reset,
+	// stall); nil means none.
+	Chaos Chaos
+}
+
+// DefaultConfig returns production settings for listening on addr.
+func DefaultConfig(addr string) Config {
+	return Config{
+		ListenAddr:      addr,
+		FragmentBytes:   1400,
+		MaxFrame:        8 << 20,
+		DialTimeout:     3 * time.Second,
+		WriteTimeout:    5 * time.Second,
+		HelloTimeout:    3 * time.Second,
+		HeartbeatEvery:  2 * time.Second,
+		HeartbeatMiss:   3,
+		RetryBase:       250 * time.Millisecond,
+		RetryMax:        15 * time.Second,
+		BreakerAfter:    5,
+		BreakerCooldown: 10 * time.Second,
+		OutboxFrames:    256,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig("")
+	if c.FragmentBytes <= 0 {
+		c.FragmentBytes = d.FragmentBytes
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = d.MaxFrame
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = d.WriteTimeout
+	}
+	if c.HelloTimeout <= 0 {
+		c.HelloTimeout = d.HelloTimeout
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = d.HeartbeatEvery
+	}
+	if c.HeartbeatMiss <= 0 {
+		c.HeartbeatMiss = d.HeartbeatMiss
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = d.RetryBase
+	}
+	if c.RetryMax < c.RetryBase {
+		c.RetryMax = d.RetryMax
+		if c.RetryMax < c.RetryBase {
+			c.RetryMax = c.RetryBase
+		}
+	}
+	if c.BreakerAfter <= 0 {
+		c.BreakerAfter = d.BreakerAfter
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = d.BreakerCooldown
+	}
+	if c.OutboxFrames <= 0 {
+		c.OutboxFrames = d.OutboxFrames
+	}
+}
+
+// Stats counts mesh activity, one counter per failure class — the
+// transport never swallows an error into a bare bool.
+type Stats struct {
+	FramesSent     uint64
+	FramesReceived uint64
+	BytesSent      uint64
+	BytesReceived  uint64
+	MsgsSent       uint64 // logical messages fanned out (one per Send with >= 1 up face)
+	MsgsReceived   uint64
+
+	Dials             uint64
+	DialFailures      uint64
+	ConnResets        uint64 // established connections lost (read/write error)
+	WriteTimeouts     uint64
+	HeartbeatTimeouts uint64
+	BreakerTrips      uint64
+
+	EncodeErrors   uint64
+	ChecksumErrors uint64
+	DecodeErrors   uint64
+	OutboxDrops    uint64
+
+	FacesUp    int // gauge: faces past the hello exchange
+	PeersKnown int // gauge: configured dial targets
+}
+
+// Mesh is a set of supervised unicast faces implementing the
+// pds.Transport surface.
+type Mesh struct {
+	cfg Config
+
+	ln net.Listener
+
+	mu       sync.Mutex
+	self     wire.NodeID
+	recv     func(*wire.Message)
+	onDown   func(wire.NodeID)
+	tr       *trace.NodeTracer
+	dialed   map[string]*Face // by dial address
+	accepted map[*Face]struct{}
+	closed   bool
+	stats    Stats
+
+	// encMu guards the virtual-fragment materialization cache, same
+	// discipline as udptransport.
+	encMu    sync.Mutex
+	encCache map[uint64][]byte // OrigID -> encoded whole message
+
+	wg sync.WaitGroup
+}
+
+// NewMesh opens the listener (when configured) and returns an empty
+// mesh; add dialed faces with AddPeer.
+func NewMesh(cfg Config) (*Mesh, error) {
+	cfg.fillDefaults()
+	m := &Mesh{
+		cfg:      cfg,
+		self:     cfg.Self,
+		dialed:   make(map[string]*Face),
+		accepted: make(map[*Face]struct{}),
+		encCache: make(map[uint64][]byte),
+	}
+	if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("face: listen: %w", err)
+		}
+		m.ln = ln
+		m.wg.Add(1)
+		go m.acceptLoop(ln)
+	}
+	return m, nil
+}
+
+// SetLocalID sets the node id announced in hellos; pds.NewNode calls
+// it once the node id is decided. Faces already up keep the id they
+// announced.
+func (m *Mesh) SetLocalID(id wire.NodeID) {
+	m.mu.Lock()
+	m.self = id
+	m.mu.Unlock()
+}
+
+// SetTracer attaches a node-bound tracer; nil disables tracing.
+func (m *Mesh) SetTracer(nt *trace.NodeTracer) {
+	m.mu.Lock()
+	m.tr = nt
+	m.mu.Unlock()
+}
+
+// OnPeerDown registers the circuit-breaker sink: fn is called with the
+// peer's node id (when known from the hello) every time a face's
+// breaker trips, from the face's supervisor goroutine. pds.NewNode
+// wires it into the neighbor-health blacklist.
+func (m *Mesh) OnPeerDown(fn func(wire.NodeID)) {
+	m.mu.Lock()
+	m.onDown = fn
+	m.mu.Unlock()
+}
+
+// ListenAddr returns the bound listener address, nil when dial-only.
+func (m *Mesh) ListenAddr() net.Addr {
+	if m.ln == nil {
+		return nil
+	}
+	return m.ln.Addr()
+}
+
+// AddPeer starts a supervised dialed face to addr. It reports false
+// when the address is already configured or the mesh is closed.
+func (m *Mesh) AddPeer(addr string) bool {
+	m.mu.Lock()
+	if m.closed || addr == "" {
+		m.mu.Unlock()
+		return false
+	}
+	if _, dup := m.dialed[addr]; dup {
+		m.mu.Unlock()
+		return false
+	}
+	f := newDialedFace(m, addr)
+	m.dialed[addr] = f
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go f.supervise()
+	return true
+}
+
+// RemovePeer stops and removes a dialed face.
+func (m *Mesh) RemovePeer(addr string) {
+	m.mu.Lock()
+	f := m.dialed[addr]
+	delete(m.dialed, addr)
+	m.mu.Unlock()
+	if f != nil {
+		f.stop()
+	}
+}
+
+// SetReceiver registers the frame sink.
+func (m *Mesh) SetReceiver(fn func(*wire.Message)) {
+	m.mu.Lock()
+	m.recv = fn
+	m.mu.Unlock()
+}
+
+// Stats returns a snapshot of the mesh counters.
+func (m *Mesh) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.PeersKnown = len(m.dialed)
+	s.FacesUp = 0
+	for _, f := range m.dialed {
+		if f.isUp() {
+			s.FacesUp++
+		}
+	}
+	for f := range m.accepted {
+		if f.isUp() {
+			s.FacesUp++
+		}
+	}
+	return s
+}
+
+// UpCount returns how many faces are past the hello exchange.
+func (m *Mesh) UpCount() int {
+	return m.Stats().FacesUp
+}
+
+// WaitReady blocks until at least n faces are up or the deadline
+// passes; it reports whether the mesh got there.
+func (m *Mesh) WaitReady(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if m.UpCount() >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Send fans the frame out to every up face, one transmission per
+// distinct peer (a peer reachable over both a dialed and an accepted
+// face gets the frame once, over the dialed one). The message is
+// encoded exactly once; faces share the framed bytes read-only. It
+// reports false when the frame could not be encoded or any face's
+// outbox dropped it.
+func (m *Mesh) Send(msg *wire.Message) bool {
+	frame, err := m.encodeFrame(msg)
+	if err != nil {
+		m.mu.Lock()
+		m.stats.EncodeErrors++
+		tr := m.tr
+		m.mu.Unlock()
+		tr.TransportDrop(msg, 0, "encode")
+		return false
+	}
+
+	// Snapshot the target faces under the lock, enqueue after
+	// releasing it (outbox sends must not happen under mu).
+	m.mu.Lock()
+	targets := make([]*Face, 0, len(m.dialed)+len(m.accepted))
+	seen := make(map[wire.NodeID]bool, len(m.dialed))
+	addrs := make([]string, 0, len(m.dialed))
+	for a := range m.dialed {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		f := m.dialed[a]
+		if up, peer := f.upPeer(); up {
+			if peer != 0 {
+				if seen[peer] {
+					continue
+				}
+				seen[peer] = true
+			}
+			targets = append(targets, f)
+		}
+	}
+	for f := range m.accepted {
+		if up, peer := f.upPeer(); up {
+			if peer != 0 {
+				if seen[peer] {
+					continue
+				}
+				seen[peer] = true
+			}
+			targets = append(targets, f)
+		}
+	}
+	tr := m.tr
+	m.mu.Unlock()
+
+	ok := true
+	for _, f := range targets {
+		if !f.enqueue(frame) {
+			ok = false
+			m.mu.Lock()
+			m.stats.OutboxDrops++
+			m.mu.Unlock()
+			tr.TransportDrop(msg, len(frame), "outbox")
+		}
+	}
+	if len(targets) > 0 {
+		m.mu.Lock()
+		m.stats.MsgsSent++
+		m.mu.Unlock()
+	}
+	return ok
+}
+
+// encodeFrame wire-encodes the message and frames it. Virtual
+// fragments are materialized copy-on-write by slicing the cached
+// encoding of the whole message, exactly like udptransport.
+func (m *Mesh) encodeFrame(msg *wire.Message) ([]byte, error) {
+	if msg.Type == wire.TypeFragment && msg.Fragment != nil && msg.Fragment.Data == nil {
+		f := msg.Fragment
+		if f.Whole == nil {
+			return nil, errors.New("face: fragment without data or whole")
+		}
+		m.encMu.Lock()
+		whole, ok := m.encCache[f.OrigID]
+		if !ok {
+			var err error
+			whole, err = wire.Encode(f.Whole)
+			if err != nil {
+				m.encMu.Unlock()
+				return nil, err
+			}
+			m.encCache[f.OrigID] = whole
+			if len(m.encCache) > 64 {
+				for k := range m.encCache {
+					if k != f.OrigID {
+						delete(m.encCache, k)
+					}
+				}
+			}
+		}
+		m.encMu.Unlock()
+		lo := f.Index * m.cfg.FragmentBytes
+		hi := lo + m.cfg.FragmentBytes
+		if lo > len(whole) {
+			lo = len(whole)
+		}
+		if hi > len(whole) {
+			hi = len(whole)
+		}
+		real := *msg
+		fcopy := *f
+		fcopy.Whole = nil
+		fcopy.Data = whole[lo:hi]
+		fcopy.Size = hi - lo
+		real.Fragment = &fcopy
+		payload, err := wire.Encode(&real)
+		if err != nil {
+			return nil, err
+		}
+		return appendMsgFrame(nil, payload), nil
+	}
+	payload, err := wire.Encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	return appendMsgFrame(nil, payload), nil
+}
+
+// deliver hands a decoded message to the receiver.
+func (m *Mesh) deliver(msg *wire.Message) {
+	m.mu.Lock()
+	recv := m.recv
+	closed := m.closed
+	m.stats.MsgsReceived++
+	m.mu.Unlock()
+	if recv != nil && !closed {
+		recv(msg)
+	}
+}
+
+func (m *Mesh) acceptLoop(ln net.Listener) {
+	defer m.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		f := newAcceptedFace(m, conn)
+		m.accepted[f] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go f.runAccepted(conn)
+	}
+}
+
+// dropAccepted removes a finished accepted face.
+func (m *Mesh) dropAccepted(f *Face) {
+	m.mu.Lock()
+	delete(m.accepted, f)
+	m.mu.Unlock()
+}
+
+func (m *Mesh) localID() wire.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.self
+}
+
+func (m *Mesh) tracer() *trace.NodeTracer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tr
+}
+
+func (m *Mesh) peerDownSink() func(wire.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.onDown
+}
+
+func (m *Mesh) count(fn func(*Stats)) {
+	m.mu.Lock()
+	fn(&m.stats)
+	m.mu.Unlock()
+}
+
+// Close stops every face and the listener and waits for all mesh
+// goroutines to exit.
+func (m *Mesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	faces := make([]*Face, 0, len(m.dialed)+len(m.accepted))
+	for _, f := range m.dialed {
+		faces = append(faces, f)
+	}
+	for f := range m.accepted {
+		faces = append(faces, f)
+	}
+	ln := m.ln
+	m.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, f := range faces {
+		f.stop()
+	}
+	m.wg.Wait()
+	return nil
+}

@@ -1,0 +1,132 @@
+package fault
+
+// FaceInjector drives the face-level fault kinds of a Plan — DialFail,
+// ConnReset, Stall — into a running unicast face mesh. It implements
+// face.Chaos: the mesh consults it before every dial and every message
+// write, so chaos scenarios exercise the supervisor's backoff, write
+// deadlines and circuit breaker deterministically (all randomness is
+// drawn from the Plan's seed).
+//
+// Unlike Injector, which schedules on the simulated clock, the face
+// plane runs on real sockets and the wall clock: windows are measured
+// from the moment the FaceInjector is created. The sim Injector
+// ignores face kinds and vice versa, so one Plan string can describe
+// both planes.
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"pds/internal/face"
+)
+
+// FaceStats counts the face faults actually injected.
+type FaceStats struct {
+	DialFaults uint64
+	ConnResets uint64
+	Stalls     uint64
+}
+
+// faceWindow is one active fault window, relative to injector start.
+type faceWindow struct {
+	at    time.Duration
+	until time.Duration // 0 = open-ended
+	rate  float64
+}
+
+// FaceInjector implements face.Chaos from a Plan's face-level events.
+// Safe for concurrent use: faces call in from their supervisor and
+// writer goroutines.
+type FaceInjector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	now   func() time.Duration
+	dial  []faceWindow
+	reset []faceWindow
+	stall []faceWindow
+	stats FaceStats
+}
+
+var _ face.Chaos = (*FaceInjector)(nil)
+
+// NewFaceInjector builds a face injector from the plan's DialFail,
+// ConnReset and Stall events; other kinds are ignored. Windows start
+// counting now.
+func NewFaceInjector(p Plan) *FaceInjector {
+	start := time.Now()
+	return newFaceInjectorAt(p, func() time.Duration { return time.Since(start) })
+}
+
+// newFaceInjectorAt is NewFaceInjector with an injectable elapsed-time
+// source (tests).
+func newFaceInjectorAt(p Plan, now func() time.Duration) *FaceInjector {
+	fi := &FaceInjector{
+		rng: rand.New(rand.NewSource(p.Seed ^ 0x0fa5e)),
+		now: now,
+	}
+	for _, ev := range p.Events {
+		w := faceWindow{at: ev.At, rate: ev.Rate}
+		if ev.Duration > 0 {
+			w.until = ev.At + ev.Duration
+		}
+		switch ev.Kind {
+		case DialFail:
+			fi.dial = append(fi.dial, w)
+		case ConnReset:
+			fi.reset = append(fi.reset, w)
+		case Stall:
+			fi.stall = append(fi.stall, w)
+		}
+	}
+	return fi
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (fi *FaceInjector) Stats() FaceStats {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.stats
+}
+
+// DialFault reports whether this dial attempt should fail.
+func (fi *FaceInjector) DialFault(addr string) bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.hit(fi.dial) {
+		fi.stats.DialFaults++
+		return true
+	}
+	return false
+}
+
+// ConnFault reports whether this message write should be reset or
+// stalled. Reset wins when both windows fire.
+func (fi *FaceInjector) ConnFault(addr string) (reset, stall bool) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.hit(fi.reset) {
+		fi.stats.ConnResets++
+		return true, false
+	}
+	if fi.hit(fi.stall) {
+		fi.stats.Stalls++
+		return false, true
+	}
+	return false, false
+}
+
+// hit draws against every window open at the current elapsed time.
+// Callers hold fi.mu (the rng is not goroutine-safe).
+func (fi *FaceInjector) hit(ws []faceWindow) bool {
+	t := fi.now()
+	for _, w := range ws {
+		if t < w.at || (w.until > 0 && t >= w.until) {
+			continue
+		}
+		if w.rate > 0 && fi.rng.Float64() < w.rate {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaceInjectorWindows(t *testing.T) {
+	plan, err := ParsePlan("dial-fail@1s+2s:1.0;conn-reset@5s:1.0;stall@10s+1s:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed time.Duration
+	fi := newFaceInjectorAt(plan, func() time.Duration { return elapsed })
+
+	// Before the first window nothing fires.
+	elapsed = 500 * time.Millisecond
+	if fi.DialFault("a:1") {
+		t.Fatal("dial fault before window")
+	}
+	if r, s := fi.ConnFault("a:1"); r || s {
+		t.Fatal("conn fault before window")
+	}
+
+	// Inside dial-fail@1s+2s every dial fails (rate 1.0).
+	elapsed = 2 * time.Second
+	if !fi.DialFault("a:1") {
+		t.Fatal("dial fault not injected inside window")
+	}
+	// The window closes at 3s.
+	elapsed = 3 * time.Second
+	if fi.DialFault("a:1") {
+		t.Fatal("dial fault past window end")
+	}
+
+	// conn-reset@5s is open-ended: fires at 5s and forever after.
+	elapsed = 5 * time.Second
+	if r, _ := fi.ConnFault("a:1"); !r {
+		t.Fatal("reset not injected at window start")
+	}
+	elapsed = time.Hour
+	if r, _ := fi.ConnFault("a:1"); !r {
+		t.Fatal("open-ended reset window closed")
+	}
+
+	// Inside stall@10s+1s, reset (open-ended from 5s) still wins.
+	elapsed = 10500 * time.Millisecond
+	r, s := fi.ConnFault("a:1")
+	if !r || s {
+		t.Fatalf("reset should win over stall: reset=%v stall=%v", r, s)
+	}
+
+	st := fi.Stats()
+	if st.DialFaults != 1 || st.ConnResets != 3 || st.Stalls != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFaceInjectorRateIsSeeded(t *testing.T) {
+	plan, err := ParsePlan("conn-reset@0s:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Seed = 7
+	draw := func() []bool {
+		fi := newFaceInjectorAt(plan, func() time.Duration { return time.Second })
+		out := make([]bool, 64)
+		for i := range out {
+			out[i], _ = fi.ConnFault("x")
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("rate 0.5 produced %d/%d hits", hits, len(a))
+	}
+}
+
+func TestSimInjectorIgnoresFaceKinds(t *testing.T) {
+	// A plan mixing both planes must parse, and the face injector must
+	// pick out only its kinds.
+	plan, err := ParsePlan("crash:2@10s;dial-fail@0s:1.0;stall@1s+1s:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := newFaceInjectorAt(plan, func() time.Duration { return 0 })
+	if len(fi.dial) != 1 || len(fi.reset) != 0 || len(fi.stall) != 1 {
+		t.Fatalf("face windows: dial=%d reset=%d stall=%d", len(fi.dial), len(fi.reset), len(fi.stall))
+	}
+	if !fi.DialFault("a") {
+		t.Fatal("dial fault not injected")
+	}
+}

@@ -22,6 +22,10 @@ func FuzzParsePlan(f *testing.F) {
 	f.Add("burst@10s")
 	f.Add("crash:-1@30s")
 	f.Add("dup:7@1s:0.05")
+	f.Add("dial-fail@0s+10s:1.0;conn-reset@2s:0.5;stall@1s+3s:0.25")
+	f.Add("dial-fail@0s:1.0")
+	f.Add("conn-reset:3@1s:0.5")
+	f.Add("stall@1s")
 	f.Fuzz(func(t *testing.T, spec string) {
 		p, err := ParsePlan(spec)
 		if err != nil {
@@ -33,7 +37,7 @@ func FuzzParsePlan(f *testing.F) {
 		}
 		for i, ev := range p.Events {
 			switch ev.Kind {
-			case Crash, Depart, Burst, Corrupt, Duplicate:
+			case Crash, Depart, Burst, Corrupt, Duplicate, DialFail, ConnReset, Stall:
 			default:
 				t.Fatalf("spec %q: event %d has invalid kind %d", spec, i, ev.Kind)
 			}

@@ -25,9 +25,10 @@ import (
 //     picks among ready cases pseudo-randomly).
 //
 // Out of scope by allowlist: the root package and cmd/ (real-clock
-// wiring), examples/, internal/udptransport (real sockets), internal/
-// fault (its sources are seeded by construction), internal/diskstore
-// (wall-clock maintenance timing) and this package.
+// wiring), examples/, internal/udptransport, internal/face,
+// internal/tracker and internal/origin (real sockets and deadlines),
+// internal/fault (its sources are seeded by construction),
+// internal/diskstore (wall-clock maintenance timing) and this package.
 var Determinism = &Analyzer{
 	Name:    "determinism",
 	Doc:     "forbids wall-clock, global RNG, order-sensitive map iteration and racing selects in the deterministic core",
@@ -40,6 +41,9 @@ var Determinism = &Analyzer{
 // and fixture paths resolve consistently.
 var determinismExemptSuffixes = []string{
 	"/internal/udptransport",
+	"/internal/face",
+	"/internal/tracker",
+	"/internal/origin",
 	"/internal/fault",
 	"/internal/diskstore",
 	"/internal/lint",

@@ -30,6 +30,56 @@ type Sample struct {
 	// runs, which therefore render byte-identically to runs predating
 	// the disk tier.
 	Disk *DiskCounters
+	// Tiers attributes retrieved chunks to the tier that served them;
+	// nil for pure-P2P runs, which therefore render byte-identically
+	// to runs predating the deployment plane.
+	Tiers *TierCounters
+}
+
+// TierCounters attributes one run's retrieved chunks to the tiered
+// retrieval path's serving tiers, plus the tracker-plane degradations
+// observed on the way.
+type TierCounters struct {
+	// LocalChunks were already held when the retrieval started.
+	LocalChunks uint64 `json:"local_chunks"`
+	// P2PChunks arrived over the lingering-query P2P plane.
+	P2PChunks uint64 `json:"p2p_chunks"`
+	// EdgeChunks arrived over unicast faces to tracker-learned peers.
+	EdgeChunks uint64 `json:"edge_chunks"`
+	// OriginChunks were fetched from the origin backend.
+	OriginChunks uint64 `json:"origin_chunks"`
+	// MissingChunks were not served by any tier before the deadline.
+	MissingChunks uint64 `json:"missing_chunks"`
+	// TrackerFailovers counts requests served by a non-primary tracker.
+	TrackerFailovers uint64 `json:"tracker_failovers"`
+	// StaleTrackerServes counts lookups served from the stale cache
+	// because every tracker was down.
+	StaleTrackerServes uint64 `json:"stale_tracker_serves"`
+}
+
+// Any reports whether the tiered path saw any activity.
+func (t TierCounters) Any() bool {
+	return t.LocalChunks > 0 || t.P2PChunks > 0 || t.EdgeChunks > 0 ||
+		t.OriginChunks > 0 || t.MissingChunks > 0 ||
+		t.TrackerFailovers > 0 || t.StaleTrackerServes > 0
+}
+
+// Add accumulates another counter set.
+func (t *TierCounters) Add(o TierCounters) {
+	t.LocalChunks += o.LocalChunks
+	t.P2PChunks += o.P2PChunks
+	t.EdgeChunks += o.EdgeChunks
+	t.OriginChunks += o.OriginChunks
+	t.MissingChunks += o.MissingChunks
+	t.TrackerFailovers += o.TrackerFailovers
+	t.StaleTrackerServes += o.StaleTrackerServes
+}
+
+// String renders the counters as a compact row suffix.
+func (t TierCounters) String() string {
+	return fmt.Sprintf("local=%d p2p=%d edge=%d origin=%d missing=%d failovers=%d stale=%d",
+		t.LocalChunks, t.P2PChunks, t.EdgeChunks, t.OriginChunks,
+		t.MissingChunks, t.TrackerFailovers, t.StaleTrackerServes)
 }
 
 // DiskCounters summarizes one run's persistent chunk-store activity
@@ -113,7 +163,9 @@ func Mean(samples []Sample) Sample {
 	var out Sample
 	var lat float64
 	var disk DiskCounters
+	var tiers TierCounters
 	diskRuns := uint64(0)
+	tierRuns := uint64(0)
 	for _, s := range samples {
 		out.Recall += s.Recall
 		lat += float64(s.Latency)
@@ -126,6 +178,10 @@ func Mean(samples []Sample) Sample {
 		if s.Disk != nil {
 			disk.Add(*s.Disk)
 			diskRuns++
+		}
+		if s.Tiers != nil {
+			tiers.Add(*s.Tiers)
+			tierRuns++
 		}
 	}
 	n := float64(len(samples))
@@ -149,6 +205,16 @@ func Mean(samples []Sample) Sample {
 		disk.RecoveredRecords /= diskRuns
 		disk.SkippedRecords /= diskRuns
 		out.Disk = &disk
+	}
+	if tierRuns > 0 {
+		tiers.LocalChunks /= tierRuns
+		tiers.P2PChunks /= tierRuns
+		tiers.EdgeChunks /= tierRuns
+		tiers.OriginChunks /= tierRuns
+		tiers.MissingChunks /= tierRuns
+		tiers.TrackerFailovers /= tierRuns
+		tiers.StaleTrackerServes /= tierRuns
+		out.Tiers = &tiers
 	}
 	return out
 }

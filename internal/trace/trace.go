@@ -80,6 +80,17 @@ const (
 	SpillLoad    // payload served from the disk tier (Note = key, Size = bytes)
 	StoreCompact // segment log compacted (Val = segments before, Size = bytes reclaimed)
 	StoreRecover // recovery scan finished (Val = records replayed, Size = records skipped)
+
+	// Deployment plane (internal/face, internal/tracker, tiered
+	// retrieval).
+	FaceDial        // unicast face dial attempt (Peer = peer id if known, Val = attempt, Note = addr)
+	FaceUp          // face established and hello exchanged (Peer = peer id, Note = addr)
+	FaceDown        // face connection lost (Peer = peer id, Val = consecutive failures, Note = reason)
+	FaceBreaker     // face circuit breaker opened (Peer = peer id, Val = consecutive failures, Note = addr)
+	TransportDrop   // outbound frame dropped at a transport (Size = bytes, Note = error class)
+	TrackerLookup   // tracker peer lookup served (Val = peers, Size = 1 when stale cache, Note = tracker addr)
+	TrackerFailover // tracker client failed over to another tracker (Note = new tracker addr)
+	ChunkTier       // retrieval chunk attributed to its serving tier (Size = chunk id, Val = bytes, Note = tier)
 )
 
 var kindNames = [...]string{
@@ -115,6 +126,15 @@ var kindNames = [...]string{
 	SpillLoad:    "spill_load",
 	StoreCompact: "store_compact",
 	StoreRecover: "store_recover",
+
+	FaceDial:        "face_dial",
+	FaceUp:          "face_up",
+	FaceDown:        "face_down",
+	FaceBreaker:     "face_breaker",
+	TransportDrop:   "transport_drop",
+	TrackerLookup:   "tracker_lookup",
+	TrackerFailover: "tracker_failover",
+	ChunkTier:       "chunk_tier",
 }
 
 // String returns the snake_case event name used in JSONL exports.
@@ -500,6 +520,86 @@ func (nt *NodeTracer) StoreRecover(records, skipped int) {
 		return
 	}
 	nt.t.emit(nt.id, StoreRecover, 0, 0, 0, skipped, int64(records), "")
+}
+
+// --- Deployment plane -------------------------------------------------
+
+// FaceDial records a unicast face dial attempt. addr must be a
+// pre-existing string (the face's configured dial address).
+func (nt *NodeTracer) FaceDial(peer wire.NodeID, attempt int, addr string) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, FaceDial, 0, 0, peer, 0, int64(attempt), addr)
+}
+
+// FaceUp records a face reaching the up state after the hello exchange.
+func (nt *NodeTracer) FaceUp(peer wire.NodeID, addr string) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, FaceUp, 0, 0, peer, 0, 0, addr)
+}
+
+// FaceDown records a face connection loss with the consecutive-failure
+// count. reason must be a pre-existing string (an error class constant,
+// not a formatted error).
+func (nt *NodeTracer) FaceDown(peer wire.NodeID, failures int, reason string) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, FaceDown, 0, 0, peer, 0, int64(failures), reason)
+}
+
+// FaceBreaker records a face circuit breaker opening after consecutive
+// failures.
+func (nt *NodeTracer) FaceBreaker(peer wire.NodeID, failures int, addr string) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, FaceBreaker, 0, 0, peer, 0, int64(failures), addr)
+}
+
+// TransportDrop records an outbound frame dropped at a transport. class
+// must be a pre-existing string naming the error class ("encode",
+// "write", "outbox").
+func (nt *NodeTracer) TransportDrop(m *wire.Message, size int, class string) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, TransportDrop, MsgID(m), 0, 0, size, 0, class)
+}
+
+// TrackerLookup records a tracker peer lookup: how many peers it
+// returned, and whether it was served from the stale local cache
+// because every tracker was unreachable.
+func (nt *NodeTracer) TrackerLookup(peers int, stale bool, addr string) {
+	if nt == nil {
+		return
+	}
+	s := 0
+	if stale {
+		s = 1
+	}
+	nt.t.emit(nt.id, TrackerLookup, 0, 0, 0, s, int64(peers), addr)
+}
+
+// TrackerFailover records the tracker client rotating to another
+// tracker after the active one stopped answering.
+func (nt *NodeTracer) TrackerFailover(addr string) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, TrackerFailover, 0, 0, 0, 0, 0, addr)
+}
+
+// ChunkTier attributes one retrieved chunk to the tier that served it.
+// tier must be a pre-existing string (Tier.String returns constants).
+func (nt *NodeTracer) ChunkTier(chunk, bytes int, tier string) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, ChunkTier, 0, 0, 0, chunk, int64(bytes), tier)
 }
 
 // formatInts renders an assignment vector compactly ("0,3,7").

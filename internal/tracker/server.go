@@ -1,0 +1,201 @@
+package tracker
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"pds/internal/wire"
+)
+
+// ServerOptions tune a tracker server.
+type ServerOptions struct {
+	// DefaultTTL is applied to announces that carry no TTL; zero
+	// selects 45s.
+	DefaultTTL time.Duration
+	// MaxEntries bounds the index; zero selects 4096. Announces past
+	// the bound are rejected (counted), protecting the tracker from
+	// index-stuffing.
+	MaxEntries int
+}
+
+// ServerStats counts tracker activity.
+type ServerStats struct {
+	Announces  uint64
+	Queries    uint64
+	BadPackets uint64
+	Expired    uint64
+	Rejected   uint64
+}
+
+type indexEntry struct {
+	addr      string
+	announced time.Time
+	expires   time.Time
+}
+
+// Server is a TTL-heartbeat peer index over UDP. Peers announce
+// (id, addr, ttl) and must re-announce within the TTL to stay listed;
+// queries return every live peer.
+type Server struct {
+	conn *net.UDPConn
+	opts ServerOptions
+
+	mu     sync.Mutex
+	peers  map[wire.NodeID]*indexEntry
+	stats  ServerStats
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer binds the UDP socket (e.g. "127.0.0.1:0" or ":9760") and
+// starts serving.
+func NewServer(listenAddr string, opts ServerOptions) (*Server, error) {
+	if opts.DefaultTTL <= 0 {
+		opts.DefaultTTL = 45 * time.Second
+	}
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = 4096
+	}
+	addr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: listen addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: bind: %w", err)
+	}
+	s := &Server{conn: conn, opts: opts, peers: make(map[wire.NodeID]*indexEntry)}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// PeerCount returns how many unexpired entries the index holds.
+func (s *Server) PeerCount() int {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.peers {
+		if e.expires.After(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, MaxPacket)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt, err := Decode(buf[:n])
+		if err != nil {
+			s.mu.Lock()
+			s.stats.BadPackets++
+			s.mu.Unlock()
+			continue
+		}
+		// Build the reply under the lock, send it after releasing.
+		var reply *Packet
+		now := time.Now()
+		s.mu.Lock()
+		switch pkt.Op {
+		case OpAnnounce:
+			s.stats.Announces++
+			s.pruneLocked(now)
+			ttl := pkt.TTL
+			if ttl <= 0 {
+				ttl = s.opts.DefaultTTL
+			}
+			e := s.peers[pkt.Node]
+			if e == nil {
+				if len(s.peers) >= s.opts.MaxEntries {
+					s.stats.Rejected++
+					s.mu.Unlock()
+					continue
+				}
+				e = &indexEntry{}
+				s.peers[pkt.Node] = e
+			}
+			e.addr = pkt.Addr
+			e.announced = now
+			e.expires = now.Add(ttl)
+			reply = &Packet{Op: OpAck}
+		case OpQuery:
+			s.stats.Queries++
+			s.pruneLocked(now)
+			reply = &Packet{Op: OpPeers, Peers: s.liveLocked(now)}
+		default:
+			s.stats.BadPackets++
+		}
+		s.mu.Unlock()
+		if reply == nil {
+			continue
+		}
+		out, err := Encode(reply)
+		if err != nil {
+			continue
+		}
+		s.conn.WriteToUDP(out, from)
+	}
+}
+
+// pruneLocked drops expired entries; callers hold s.mu.
+func (s *Server) pruneLocked(now time.Time) {
+	for id, e := range s.peers {
+		if !e.expires.After(now) {
+			delete(s.peers, id)
+			s.stats.Expired++
+		}
+	}
+}
+
+// liveLocked snapshots the live entries sorted by node id; callers
+// hold s.mu.
+func (s *Server) liveLocked(now time.Time) []Peer {
+	out := make([]Peer, 0, len(s.peers))
+	for id, e := range s.peers {
+		out = append(out, Peer{
+			ID:   id,
+			Addr: e.addr,
+			Age:  now.Sub(e.announced),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if len(out) > MaxPeers {
+		out = out[:MaxPeers]
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package tracker
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	cases := []*Packet{
+		{Op: OpAnnounce, Node: 42, TTL: 30 * time.Second, Addr: "10.0.0.1:9755"},
+		{Op: OpAnnounce, Node: 1, TTL: 0, Addr: ""},
+		{Op: OpQuery},
+		{Op: OpAck},
+		{Op: OpPeers},
+		{Op: OpPeers, Peers: []Peer{
+			{ID: 1, Addr: "a:1", Age: time.Second},
+			{ID: 2, Addr: "host.example:65535", Age: 90 * time.Minute},
+		}},
+	}
+	for _, want := range cases {
+		buf, err := Encode(want)
+		if err != nil {
+			t.Fatalf("Encode(%s): %v", OpName(want.Op), err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", OpName(want.Op), err)
+		}
+		if got.Op != want.Op || got.Node != want.Node || got.Addr != want.Addr {
+			t.Fatalf("round trip %s: got %+v want %+v", OpName(want.Op), got, want)
+		}
+		if got.TTL != want.TTL {
+			t.Fatalf("TTL: got %v want %v", got.TTL, want.TTL)
+		}
+		if len(got.Peers) != len(want.Peers) {
+			t.Fatalf("peers: got %d want %d", len(got.Peers), len(want.Peers))
+		}
+		for i := range want.Peers {
+			if got.Peers[i] != want.Peers[i] {
+				t.Fatalf("peer %d: got %+v want %+v", i, got.Peers[i], want.Peers[i])
+			}
+		}
+	}
+}
+
+func TestEncodeBounds(t *testing.T) {
+	if _, err := Encode(&Packet{Op: OpAnnounce, Addr: strings.Repeat("x", MaxAddr+1)}); err == nil {
+		t.Fatal("oversized addr accepted")
+	}
+	if _, err := Encode(&Packet{Op: OpPeers, Peers: make([]Peer, MaxPeers+1)}); err == nil {
+		t.Fatal("oversized peer list accepted")
+	}
+	if _, err := Encode(&Packet{Op: 99}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	buf, err := Encode(&Packet{Op: OpAnnounce, Node: 7, TTL: time.Second, Addr: "x:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		dam := append([]byte(nil), buf...)
+		dam[i] ^= 0xff
+		if _, err := Decode(dam); err == nil {
+			t.Fatalf("bit damage at %d accepted", i)
+		}
+	}
+	if _, err := Decode(buf[:3]); err == nil {
+		t.Fatal("short packet accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil packet accepted")
+	}
+}
+
+func newTestServer(t *testing.T, opts ServerOptions) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0", opts)
+	if err != nil {
+		t.Skipf("cannot bind UDP: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestServerAnnounceQueryExpire(t *testing.T) {
+	s := newTestServer(t, ServerOptions{})
+	c := NewClient([]string{s.Addr().String()}, time.Second)
+
+	if err := c.Announce(1, "10.0.0.1:9755", 200*time.Millisecond); err != nil {
+		t.Fatalf("Announce: %v", err)
+	}
+	if err := c.Announce(2, "10.0.0.2:9755", 10*time.Second); err != nil {
+		t.Fatalf("Announce: %v", err)
+	}
+
+	peers, stale, err := c.Lookup(2)
+	if err != nil || stale {
+		t.Fatalf("Lookup: peers=%v stale=%v err=%v", peers, stale, err)
+	}
+	if len(peers) != 1 || peers[0].ID != 1 || peers[0].Addr != "10.0.0.1:9755" {
+		t.Fatalf("self not filtered or wrong list: %+v", peers)
+	}
+
+	// Node 1's TTL lapses; only node 2 must remain.
+	time.Sleep(250 * time.Millisecond)
+	peers, _, err = c.Lookup(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 1 || peers[0].ID != 2 {
+		t.Fatalf("expired entry still listed: %+v", peers)
+	}
+	if s.Stats().Expired == 0 {
+		t.Fatalf("expiry not counted: %+v", s.Stats())
+	}
+}
+
+func TestServerRejectsPastMaxEntries(t *testing.T) {
+	s := newTestServer(t, ServerOptions{MaxEntries: 2})
+	c := NewClient([]string{s.Addr().String()}, time.Second)
+	c.Announce(1, "a:1", time.Minute)
+	c.Announce(2, "b:1", time.Minute)
+	// The third node is rejected (no ack → request error), but the two
+	// existing entries may still refresh.
+	if err := c.Announce(3, "c:1", time.Minute); err == nil {
+		t.Fatal("index-stuffing announce acked")
+	}
+	if err := c.Announce(1, "a:2", time.Minute); err != nil {
+		t.Fatalf("refresh rejected: %v", err)
+	}
+	if n := s.PeerCount(); n != 2 {
+		t.Fatalf("PeerCount = %d, want 2", n)
+	}
+}
+
+func TestClientFailoverAndStaleCache(t *testing.T) {
+	primary := newTestServer(t, ServerOptions{})
+	secondary := newTestServer(t, ServerOptions{})
+
+	// A dead address first, so the client must fail over.
+	deadAddr := func() string {
+		s := newTestServer(t, ServerOptions{})
+		addr := s.Addr().String()
+		s.Close()
+		return addr
+	}()
+
+	c := NewClient([]string{primary.Addr().String(), secondary.Addr().String()}, 300*time.Millisecond)
+	if err := c.Announce(9, "9:9", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Announce went to primary only; seed secondary too so failover
+	// still finds the peer.
+	c2 := NewClient([]string{secondary.Addr().String()}, time.Second)
+	if err := c2.Announce(9, "9:9", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill primary: lookup must fail over to secondary, not go stale.
+	primary.Close()
+	peers, stale, err := c.Lookup(0)
+	if err != nil || stale {
+		t.Fatalf("failover lookup: stale=%v err=%v", stale, err)
+	}
+	if len(peers) != 1 || peers[0].ID != 9 {
+		t.Fatalf("failover peers: %+v", peers)
+	}
+	if st := c.Stats(); st.Failovers == 0 {
+		t.Fatalf("failover not counted: %+v", st)
+	}
+
+	// Kill secondary too: lookup must degrade to the stale cache.
+	secondary.Close()
+	peers, stale, err = c.Lookup(0)
+	if err != nil {
+		t.Fatalf("stale lookup errored: %v", err)
+	}
+	if !stale || len(peers) != 1 || peers[0].ID != 9 {
+		t.Fatalf("stale serve wrong: stale=%v peers=%+v", stale, peers)
+	}
+	if st := c.Stats(); st.StaleServes == 0 {
+		t.Fatalf("stale serve not counted: %+v", st)
+	}
+
+	// A fresh client with no cache and only dead trackers must fail.
+	c3 := NewClient([]string{deadAddr}, 200*time.Millisecond)
+	if _, _, err := c3.Lookup(0); err == nil {
+		t.Fatal("lookup with no tracker and no cache succeeded")
+	}
+}
+
+func TestStartHeartbeatKeepsEntryAlive(t *testing.T) {
+	s := newTestServer(t, ServerOptions{})
+	c := NewClient([]string{s.Addr().String()}, time.Second)
+	stop := c.StartHeartbeat(4, "4:4", 300*time.Millisecond, 100*time.Millisecond)
+	defer stop()
+
+	// Well past the TTL, the heartbeat must have kept the entry live.
+	time.Sleep(600 * time.Millisecond)
+	peers, stale, err := c.Lookup(0)
+	if err != nil || stale {
+		t.Fatalf("lookup: stale=%v err=%v", stale, err)
+	}
+	if len(peers) != 1 || peers[0].ID != 4 {
+		t.Fatalf("heartbeat entry gone: %+v", peers)
+	}
+
+	// After stop, the entry must expire.
+	stop()
+	stop() // idempotent
+	time.Sleep(400 * time.Millisecond)
+	if n := s.PeerCount(); n != 0 {
+		t.Fatalf("entry survived heartbeat stop: %d peers", n)
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	for _, p := range []*Packet{
+		{Op: OpAnnounce, Node: 42, TTL: 30 * time.Second, Addr: "10.0.0.1:9755"},
+		{Op: OpQuery},
+		{Op: OpAck},
+		{Op: OpPeers, Peers: []Peer{{ID: 1, Addr: "a:1", Age: time.Second}}},
+	} {
+		buf, err := Encode(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, protoVersion, OpQuery})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A decoded packet must satisfy the protocol bounds and
+		// re-encode cleanly.
+		if len(p.Addr) > MaxAddr || len(p.Peers) > MaxPeers {
+			t.Fatalf("decoded packet out of bounds: %+v", p)
+		}
+		for _, pe := range p.Peers {
+			if len(pe.Addr) > MaxAddr {
+				t.Fatalf("peer addr out of bounds: %+v", pe)
+			}
+		}
+		if _, err := Encode(p); err != nil {
+			t.Fatalf("decoded packet does not re-encode: %v (%+v)", err, p)
+		}
+	})
+}

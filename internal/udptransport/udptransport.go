@@ -28,6 +28,7 @@ import (
 	"sync"
 	"syscall"
 
+	"pds/internal/trace"
 	"pds/internal/wire"
 )
 
@@ -84,6 +85,7 @@ type Transport struct {
 
 	mu       sync.Mutex
 	recv     func(*wire.Message)
+	tr       *trace.NodeTracer // nil-safe: methods no-op on nil
 	closed   bool
 	wg       sync.WaitGroup
 	encCache map[uint64][]byte // OrigID -> encoded whole message
@@ -107,8 +109,21 @@ type Stats struct {
 	ChecksumErrors uint64
 	// DecodeErrors counts well-framed datagrams the codec rejected.
 	DecodeErrors uint64
-	SendErrors   uint64
+	// SendErrors totals frames Send dropped, by any cause; the
+	// per-class counters below break it down.
+	SendErrors uint64
+	// EncodeErrors counts frames the codec could not serialize.
+	EncodeErrors uint64
+	// WriteErrors counts frames lost to socket write failures (at
+	// least one destination write failed).
+	WriteErrors uint64
 }
+
+// Send-drop classes as they appear in TransportDrop trace events.
+const (
+	dropClassEncode = "encode"
+	dropClassWrite  = "write"
+)
 
 // crcSize is the length of the datagram checksum header.
 const crcSize = 4
@@ -153,6 +168,35 @@ func decodeDatagram(buf []byte) (*wire.Message, error) {
 	return wire.Decode(payload)
 }
 
+// fragmentOverhead is the worst-case framing around one fragment's
+// data slice: the CRC header plus the encoded envelope and fragment
+// section with every varint at maximum width and an allowance of
+// maxFragReceivers receiver entries (the link narrows the list to
+// live one-hop neighbors, so a small bound is realistic).
+func fragmentOverhead() int {
+	const maxFragReceivers = 16
+	// Size stays 0: EncodedSize counts f.Size as payload bytes, and
+	// only the envelope is overhead here.
+	f := &wire.Fragment{
+		OrigID:    ^uint64(0),
+		Index:     1<<31 - 1,
+		Count:     1<<31 - 1,
+		Receivers: make([]wire.NodeID, maxFragReceivers),
+	}
+	for i := range f.Receivers {
+		f.Receivers[i] = ^wire.NodeID(0)
+	}
+	m := &wire.Message{
+		Type:       wire.TypeFragment,
+		TransmitID: ^uint64(0),
+		From:       ^wire.NodeID(0),
+		Fragment:   f,
+	}
+	// EncodedSize counts a 1-byte length prefix for the empty Data
+	// slice; a full fragment's prefix is up to 5 bytes, hence +4.
+	return crcSize + wire.EncodedSize(m) + 4
+}
+
 // New binds the socket and starts the receive loop. The caller must
 // SetReceiver before peers start talking.
 func New(cfg Config) (*Transport, error) {
@@ -161,6 +205,11 @@ func New(cfg Config) (*Transport, error) {
 	}
 	if cfg.MaxDatagram <= 0 {
 		cfg.MaxDatagram = 2048
+	}
+	if over := fragmentOverhead(); cfg.FragmentBytes+over > cfg.MaxDatagram {
+		return nil, fmt.Errorf(
+			"udptransport: FragmentBytes %d + framing overhead %d exceeds MaxDatagram %d; receivers would truncate every full fragment",
+			cfg.FragmentBytes, over, cfg.MaxDatagram)
 	}
 	// SO_BROADCAST must be set explicitly or sends to the subnet
 	// broadcast address fail with permission errors on most systems.
@@ -219,6 +268,20 @@ func (t *Transport) SetReceiver(fn func(*wire.Message)) {
 	t.recv = fn
 }
 
+// SetTracer attaches a node tracer; send-side drops then emit
+// TransportDrop events with their error class.
+func (t *Transport) SetTracer(tr *trace.NodeTracer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tr = tr
+}
+
+func (t *Transport) tracer() *trace.NodeTracer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tr
+}
+
 // LocalAddr returns the bound address.
 func (t *Transport) LocalAddr() net.Addr { return t.conn.LocalAddr() }
 
@@ -240,7 +303,9 @@ func (t *Transport) Send(msg *wire.Message) bool {
 		t.sendMu.Unlock()
 		t.mu.Lock()
 		t.stats.SendErrors++
+		t.stats.EncodeErrors++
 		t.mu.Unlock()
+		t.tracer().TransportDrop(msg, 0, dropClassEncode)
 		return false
 	}
 	t.sendBuf = buf[:0] // keep grown capacity for the next frame
@@ -251,15 +316,20 @@ func (t *Transport) Send(msg *wire.Message) bool {
 			ok = false
 		}
 	}
+	size := len(buf)
 	t.sendMu.Unlock()
 	t.mu.Lock()
 	if ok {
 		t.stats.DatagramsSent++
-		t.stats.BytesSent += uint64(len(buf))
+		t.stats.BytesSent += uint64(size)
 	} else {
 		t.stats.SendErrors++
+		t.stats.WriteErrors++
 	}
 	t.mu.Unlock()
+	if !ok {
+		t.tracer().TransportDrop(msg, size, dropClassWrite)
+	}
 	return ok
 }
 

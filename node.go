@@ -5,15 +5,24 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"time"
 
 	"pds/internal/clock"
 	"pds/internal/core"
 	"pds/internal/diskstore"
 	"pds/internal/link"
+	"pds/internal/origin"
+	"pds/internal/store"
 	"pds/internal/trace"
+	"pds/internal/tracker"
 	"pds/internal/wire"
 )
+
+// PayloadBackend is the pluggable payload storage/fetch interface
+// (re-exported from internal/store): diskstore implements it, and so
+// do the origin backends used by the tiered retrieval path.
+type PayloadBackend = store.PayloadBackend
 
 // Transport carries frames between peers. Implementations must invoke
 // the receive callback (set via SetReceiver) for every incoming frame,
@@ -40,7 +49,14 @@ type Node struct {
 	link   *link.Link
 	trans  Transport
 	tracer *trace.Tracer
+	nt     *trace.NodeTracer
 	disk   *diskstore.Backend
+
+	// Deployment plane (all nil/zero without the matching options).
+	trk      *tracker.Client
+	origin   PayloadBackend
+	hbStop   func()
+	p2pShare int // percent of the tiered budget given to the P2P tier
 }
 
 // NodeOption configures NewNode.
@@ -57,6 +73,13 @@ type nodeOptions struct {
 	traceCap     int
 	dataDir      string
 	persistCache bool
+
+	trackers       []string
+	trackerTimeout time.Duration
+	announceTTL    time.Duration
+	announceEvery  time.Duration
+	origin         PayloadBackend
+	p2pShare       int
 }
 
 // WithNodeID sets the node id; default is randomly drawn. IDs must be
@@ -110,6 +133,52 @@ func WithPersistentCache() NodeOption {
 	return func(o *nodeOptions) { o.persistCache = true }
 }
 
+// WithTrackers points the node at one or more tracker servers
+// (pds-tracker), in priority order. The node announces itself (when
+// the transport exposes a listen address) and the tiered retrieval
+// path consults the trackers for edge peers, failing over down the
+// list and falling back to the last good answer when every tracker is
+// unreachable.
+func WithTrackers(addrs ...string) NodeOption {
+	return func(o *nodeOptions) { o.trackers = append(o.trackers, addrs...) }
+}
+
+// WithTrackerTimeout bounds one tracker request (default 2s).
+func WithTrackerTimeout(d time.Duration) NodeOption {
+	return func(o *nodeOptions) { o.trackerTimeout = d }
+}
+
+// WithAnnounce overrides the tracker announce lease and refresh
+// interval (defaults 45s / 15s). Only meaningful with WithTrackers.
+func WithAnnounce(ttl, every time.Duration) NodeOption {
+	return func(o *nodeOptions) { o.announceTTL = ttl; o.announceEvery = every }
+}
+
+// WithOrigin attaches an origin payload backend as the retrieval tier
+// of last resort: chunks the P2P swarm and the tracker-learned edge
+// peers cannot produce before the deadline are fetched from it
+// directly (origin.NewHTTP, a diskstore backend, or origin.NewStatic
+// in tests). Fetched chunks enter the cache, so the node then serves
+// them to peers like any cached copy.
+func WithOrigin(b PayloadBackend) NodeOption {
+	return func(o *nodeOptions) { o.origin = b }
+}
+
+// NewHTTPOrigin returns a read-only origin backend fetching payloads
+// from an HTTP(S) base URL (e.g. "http://origin.example:8080"); pass
+// it to WithOrigin. timeout bounds one fetch, 0 selects 10s.
+func NewHTTPOrigin(baseURL string, timeout time.Duration) PayloadBackend {
+	return origin.NewHTTP(baseURL, timeout)
+}
+
+// WithP2PShare sets the percentage (1..99) of a tiered retrieval's
+// time budget spent in the P2P tier before escalating to edge peers
+// and the origin; default 50. Only meaningful when a later tier
+// exists — with nothing to escalate to, P2P gets the whole budget.
+func WithP2PShare(percent int) NodeOption {
+	return func(o *nodeOptions) { o.p2pShare = percent }
+}
+
 // NewNode creates a real-time node on the transport.
 func NewNode(trans Transport, opts ...NodeOption) (*Node, error) {
 	if trans == nil {
@@ -147,9 +216,44 @@ func NewNode(trans Transport, opts ...NodeOption) (*Node, error) {
 	n.link.OnGiveUp = n.core.OnSendFailure
 	if o.tracing {
 		n.tracer = trace.New(clk.Now, o.traceCap)
-		nt := n.tracer.ForNode(o.id)
-		n.link.SetTracer(nt)
-		n.core.SetTracer(nt)
+		n.nt = n.tracer.ForNode(o.id)
+		n.link.SetTracer(n.nt)
+		n.core.SetTracer(n.nt)
+		if ts, ok := trans.(interface{ SetTracer(*trace.NodeTracer) }); ok {
+			ts.SetTracer(n.nt)
+		}
+	}
+	// Deployment-plane hookups: a face mesh learns the local id (for
+	// hello frames and self-connection detection) and reports circuit
+	// breaker trips into the neighbor-health blacklist.
+	if fl, ok := trans.(interface{ SetLocalID(wire.NodeID) }); ok {
+		fl.SetLocalID(o.id)
+	}
+	if pd, ok := trans.(interface{ OnPeerDown(func(wire.NodeID)) }); ok {
+		pd.OnPeerDown(func(nb wire.NodeID) {
+			clk.Locked(func() { n.core.NotePeerFailure(nb) })
+		})
+	}
+	n.origin = o.origin
+	n.p2pShare = o.p2pShare
+	if n.p2pShare <= 0 || n.p2pShare >= 100 {
+		n.p2pShare = 50
+	}
+	if len(o.trackers) > 0 {
+		n.trk = tracker.NewClient(o.trackers, o.trackerTimeout)
+		n.trk.SetTracer(n.nt)
+		if la, ok := trans.(interface{ ListenAddr() net.Addr }); ok {
+			if addr := la.ListenAddr(); addr != nil {
+				ttl, every := o.announceTTL, o.announceEvery
+				if ttl <= 0 {
+					ttl = 45 * time.Second
+				}
+				if every <= 0 {
+					every = ttl / 3
+				}
+				n.hbStop = n.trk.StartHeartbeat(o.id, addr.String(), ttl, every)
+			}
+		}
 	}
 	if o.dataDir != "" {
 		st, err := diskstore.Open(o.dataDir, diskstore.Options{
@@ -182,6 +286,9 @@ func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 // Close stops the node, its transport, and — when WithDataDir was
 // given — syncs and closes the persistent store.
 func (n *Node) Close() error {
+	if n.hbStop != nil {
+		n.hbStop()
+	}
 	n.clk.Locked(func() { n.core.Stop() })
 	err := n.trans.Close()
 	if n.disk != nil {
@@ -190,6 +297,15 @@ func (n *Node) Close() error {
 		}
 	}
 	return err
+}
+
+// TrackerStats returns a snapshot of the tracker client's counters;
+// ok is false when the node runs without WithTrackers.
+func (n *Node) TrackerStats() (tracker.ClientStats, bool) {
+	if n.trk == nil {
+		return tracker.ClientStats{}, false
+	}
+	return n.trk.Stats(), true
 }
 
 // DiskStats returns a snapshot of the persistent store's counters; ok

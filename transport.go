@@ -2,7 +2,9 @@ package pds
 
 import (
 	"sync"
+	"time"
 
+	"pds/internal/face"
 	"pds/internal/udptransport"
 	"pds/internal/wire"
 )
@@ -41,6 +43,56 @@ func NewLoopbackTransport(ownPort int, peerPorts []int) (Transport, error) {
 	}
 	return udpAdapter{t}, nil
 }
+
+// EdgeDialer is implemented by transports that can grow unicast
+// adjacencies at runtime (the face mesh). The tiered retrieval path
+// uses it to dial tracker-learned edge peers mid-retrieval.
+type EdgeDialer interface {
+	// AddPeer starts a supervised face to addr; false when already
+	// configured or the transport is closed.
+	AddPeer(addr string) bool
+}
+
+// readyWaiter is implemented by transports whose adjacencies take time
+// to come up (the face mesh dials and exchanges hellos).
+type readyWaiter interface {
+	WaitReady(n int, timeout time.Duration) bool
+	UpCount() int
+}
+
+// FaceMesh is the supervised unicast transport plane: TCP faces with
+// dial-retry backoff, heartbeats and circuit breakers behind the same
+// Transport surface. See internal/face for the full API (peer
+// management, stats); the value returned by NewFaceTransport can be
+// asserted to it in-module.
+type FaceMesh = face.Mesh
+
+// FaceConfig configures a face mesh transport.
+type FaceConfig = face.Config
+
+// DefaultFaceConfig returns production face-mesh settings listening on
+// addr ("" = dial-only).
+func DefaultFaceConfig(addr string) FaceConfig { return face.DefaultConfig(addr) }
+
+// NewFaceTransport opens a supervised TCP unicast mesh: it listens on
+// cfg.ListenAddr (when set) and supervises a dialed face to every
+// peer address. The mesh fans each frame out to all up faces, so the
+// protocol's broadcast-shaped behaviors — overhearing, lingering
+// queries, Bloom rewriting — run unchanged over unicast.
+func NewFaceTransport(cfg FaceConfig, peerAddrs ...string) (*FaceMesh, error) {
+	m, err := face.NewMesh(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range peerAddrs {
+		m.AddPeer(a)
+	}
+	return m, nil
+}
+
+var _ Transport = (*FaceMesh)(nil)
+var _ EdgeDialer = (*FaceMesh)(nil)
+var _ readyWaiter = (*FaceMesh)(nil)
 
 // ChanHub is an in-process broadcast hub connecting nodes without
 // sockets; useful in tests and single-process demos. Create one hub
