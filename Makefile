@@ -2,7 +2,7 @@ GO ?= go
 BENCH_RUNS ?= 3
 BENCH_SIZE ?= 2
 
-.PHONY: build test lint verify fuzz bench
+.PHONY: build test lint verify fuzz bench benchdiff baseline
 
 build:
 	$(GO) build ./...
@@ -53,3 +53,16 @@ fuzz:
 bench:
 	$(GO) run ./cmd/pds-bench -json -runs $(BENCH_RUNS) -size $(BENCH_SIZE) all
 	$(GO) test ./internal/diskstore -run '^$$' -bench . -benchmem
+
+# benchdiff is the benchmark-regression gate: it compares the fresh
+# BENCH_PDS.json (run `make bench` first) against the committed
+# BENCH_BASELINE.json and fails on >10% alloc/op or wall-share
+# regression in any figure. Regenerate the baseline with `make
+# baseline` after an intentional cost change, at the CI settings
+# (BENCH_RUNS=1 BENCH_SIZE=1) so figure costs stay comparable.
+benchdiff:
+	$(GO) run ./cmd/pds-benchdiff BENCH_BASELINE.json BENCH_PDS.json
+
+baseline:
+	$(GO) run ./cmd/pds-bench -json -runs 1 -size 1 all
+	cp BENCH_PDS.json BENCH_BASELINE.json

@@ -8,7 +8,7 @@
 //
 // where <figure> is one of: fig3, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig9class, fig11, fig12, fig12class, fig13, fig15, fig16, saturation,
-// leaky, ack, ablation, balance, cache, chaos, disk, all.
+// leaky, ack, ablation, balance, cache, chaos, disk, scale, all.
 //
 // With -json, machine-readable results — every metric row plus wall
 // time and allocation counters per figure — are also written to
@@ -79,6 +79,18 @@ type jsonFigure struct {
 	AllocBytes  uint64       `json:"alloc_bytes"`
 	Allocs      uint64       `json:"allocs"`
 	Series      []jsonSeries `json:"series"`
+	// Scale carries the city-scale throughput numbers; only the
+	// "scale" figure sets it.
+	Scale *jsonScale `json:"scale,omitempty"`
+}
+
+// jsonScale records the city-scale run's simulator throughput.
+type jsonScale struct {
+	Nodes        int     `json:"nodes"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	Events       uint64  `json:"events"`
+	NodesPerSec  float64 `json:"nodes_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 // jsonReport is the top-level BENCH_PDS.json document.
@@ -154,6 +166,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "base random seed")
 	runs := fs.Int("runs", 3, "runs to average per point (paper: 5)")
 	sizeMB := fs.Int("size", 20, "item size in MB for retrieval figures")
+	nodes := fs.Int("nodes", 10000, "population for the scale figure")
+	simHour := fs.Duration("sim-time", time.Hour, "simulated duration for the scale figure")
 	jsonOut := fs.Bool("json", false, "also write machine-readable results to "+jsonFile)
 	traceOut := fs.String("trace-out", "",
 		"additionally run one traced Figure-8 discovery (5 consumers, 5000 entries) and write its JSONL here")
@@ -165,6 +179,10 @@ func run(args []string) error {
 		return fmt.Errorf("expected one figure name, got %d args", fs.NArg())
 	}
 	name := fs.Arg(0)
+
+	// scaleResult is filled by the "scale" figure's run closure so its
+	// throughput numbers land in the JSON report alongside the series.
+	var scaleResult *scenario.CityResult
 
 	figures := []figure{
 		{name: "fig3", desc: "Figure 3: single-hop reception (raw / bucket / bucket+ack)", run: func() []*metrics.Series {
@@ -238,6 +256,16 @@ func run(args []string) error {
 			defer os.RemoveAll(root)
 			return []*metrics.Series{scenario.DiskSeries(*seed, *runs, root)}
 		}},
+		{name: "scale", desc: "City scale: waypoint population, sim-hour throughput", run: func() []*metrics.Series {
+			res := scenario.CityRun(scenario.CityConfig{Nodes: *nodes}, *simHour, *seed)
+			scaleResult = &res
+			fmt.Printf("%d nodes, %v simulated in %v wall: %.0f node-s/s, %.0f events/s (%d events, %d/%d discoveries answered)\n",
+				res.Nodes, res.SimTime, res.Wall.Round(time.Millisecond),
+				res.NodeSecondsPerSec, res.EventsPerSec, res.Events, res.Answered, res.Queries)
+			s := &metrics.Series{Name: "city-scale"}
+			s.Add(float64(res.Nodes), fmt.Sprintf("%d nodes", res.Nodes), res.Sample)
+			return []*metrics.Series{s}
+		}},
 	}
 
 	report := jsonReport{
@@ -251,7 +279,17 @@ func run(args []string) error {
 	ran := false
 	for _, f := range figures {
 		if name == "all" || f.name == name {
-			report.Figures = append(report.Figures, runFigure(f))
+			jf := runFigure(f)
+			if f.name == "scale" && scaleResult != nil {
+				jf.Scale = &jsonScale{
+					Nodes:        scaleResult.Nodes,
+					SimSeconds:   scaleResult.SimTime.Seconds(),
+					Events:       scaleResult.Events,
+					NodesPerSec:  scaleResult.NodeSecondsPerSec,
+					EventsPerSec: scaleResult.EventsPerSec,
+				}
+			}
+			report.Figures = append(report.Figures, jf)
 			ran = true
 			if f.name == name {
 				break

@@ -1,0 +1,157 @@
+// Command pds-benchdiff is the benchmark-regression gate: it compares
+// a fresh BENCH_PDS.json against the committed baseline and fails
+// (exit 1) when any figure's cost regresses beyond the threshold.
+//
+// Usage:
+//
+//	pds-benchdiff [-threshold 0.10] [-raw-wall] BENCH_BASELINE.json BENCH_PDS.json
+//
+// Two cost axes are compared per figure:
+//
+//   - alloc/op — the figure's total allocated bytes and allocation
+//     count. Figure sweeps are seeded and deterministic, so these are
+//     machine-independent and compared directly.
+//   - ns/op — the figure's wall time. Absolute wall clock does not
+//     transfer between the machine that committed the baseline and the
+//     CI runner, so by default each figure's wall time is normalized
+//     to its share of the report's total before comparing: a figure
+//     that got relatively slower than the rest of the suite regressed,
+//     regardless of how fast the host is. -raw-wall compares absolute
+//     seconds instead (useful when both reports come from one host).
+//
+// Figures below the noise floors (tiny wall share, few allocations)
+// are skipped, as are figures present in only one report — a new
+// figure has no baseline to regress against and is reported as such.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the BENCH_PDS.json fields the gate needs.
+type report struct {
+	Figures []figure `json:"figures"`
+}
+
+type figure struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	Allocs      uint64  `json:"allocs"`
+}
+
+// Noise floors: skip axes whose baseline is too small to compare
+// meaningfully (a 50 ms figure doubling is scheduler jitter, not a
+// hot-path regression).
+const (
+	minWallShare = 0.005 // 0.5% of total suite wall
+	minAllocs    = 100_000
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pds-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Figures) == 0 {
+		return nil, fmt.Errorf("%s: no figures", path)
+	}
+	return &r, nil
+}
+
+// totalWall sums the figure wall times (the report's own wall_seconds
+// includes printing and is absent from trimmed baselines).
+func totalWall(r *report) float64 {
+	var t float64
+	for _, f := range r.Figures {
+		t += f.WallSeconds
+	}
+	return t
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pds-benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.10, "fail on regressions beyond this fraction")
+	rawWall := fs.Bool("raw-wall", false, "compare absolute wall seconds instead of share-of-suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("expected <baseline.json> <current.json>, got %d args", fs.NArg())
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	baseByName := make(map[string]figure, len(base.Figures))
+	for _, f := range base.Figures {
+		baseByName[f.Name] = f
+	}
+	baseTotal, curTotal := totalWall(base), totalWall(cur)
+
+	failed := 0
+	check := func(name, axis string, baseVal, curVal float64) {
+		if baseVal <= 0 {
+			return
+		}
+		delta := (curVal - baseVal) / baseVal
+		mark := "ok"
+		if delta > *threshold {
+			mark = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-12s %-11s %12.4g -> %-12.4g %+6.1f%%  %s\n",
+			name, axis, baseVal, curVal, delta*100, mark)
+	}
+
+	seen := make(map[string]bool, len(cur.Figures))
+	for _, f := range cur.Figures {
+		seen[f.Name] = true
+		b, ok := baseByName[f.Name]
+		if !ok {
+			fmt.Printf("%-12s new figure, no baseline — skipped\n", f.Name)
+			continue
+		}
+		if b.Allocs >= minAllocs {
+			check(f.Name, "allocs", float64(b.Allocs), float64(f.Allocs))
+			check(f.Name, "alloc-bytes", float64(b.AllocBytes), float64(f.AllocBytes))
+		}
+		if *rawWall {
+			if b.WallSeconds/baseTotal >= minWallShare {
+				check(f.Name, "wall-s", b.WallSeconds, f.WallSeconds)
+			}
+		} else if share := b.WallSeconds / baseTotal; share >= minWallShare {
+			check(f.Name, "wall-share", share, f.WallSeconds/curTotal)
+		}
+	}
+	for _, f := range base.Figures {
+		if !seen[f.Name] {
+			fmt.Printf("%-12s dropped from current report\n", f.Name)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d cost regression(s) beyond %.0f%%", failed, *threshold*100)
+	}
+	fmt.Printf("no regressions beyond %.0f%%\n", *threshold*100)
+	return nil
+}

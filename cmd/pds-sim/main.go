@@ -7,6 +7,7 @@
 //	pds-sim -mode pdr -size 20 -redundancy 3
 //	pds-sim -mode mdr -size 5
 //	pds-sim -mode pdd -mobility student -scale 1.5
+//	pds-sim -nodes 10000 -deadline 1h
 package main
 
 import (
@@ -40,6 +41,8 @@ func run(args []string) error {
 	entries := fs.Int("entries", 5000, "distinct metadata entries (pdd)")
 	redundancy := fs.Int("redundancy", 1, "copies of each entry/chunk")
 	sizeMB := fs.Int("size", 20, "item size in MB (pdr/mdr)")
+	nodes := fs.Int("nodes", 0,
+		"city-scale population: run the waypoint city scenario with this many nodes for -deadline of simulated time (overrides -mode)")
 	seed := fs.Int64("seed", 1, "random seed")
 	mob := fs.String("mobility", "", "mobility profile: student | classroom (empty = static grid)")
 	scale := fs.Float64("scale", 1.0, "mobility rate scale")
@@ -57,6 +60,15 @@ func run(args []string) error {
 		"Gilbert–Elliott burst channel from t=0 with this bad-state loss probability")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *nodes > 0 {
+		res := scenario.CityRun(scenario.CityConfig{Nodes: *nodes}, *deadline, *seed)
+		fmt.Printf("mode=city nodes=%d sim=%v wall=%v events=%d answered=%d/%d recall=%.3f latency=%.1fs overhead=%.2fMB throughput=%.0f node-s/s %.0f events/s\n",
+			res.Nodes, res.SimTime, res.Wall.Round(time.Millisecond), res.Events,
+			res.Answered, res.Queries, res.Sample.Recall, res.Sample.Latency.Seconds(),
+			float64(res.Sample.OverheadBytes)/1e6, res.NodeSecondsPerSec, res.EventsPerSec)
+		return nil
 	}
 
 	faultsRequested := *faultPlan != "" || *crash != "" || *burstLoss > 0

@@ -29,6 +29,12 @@ import (
 // internal/tracker and internal/origin (real sockets and deadlines),
 // internal/fault (its sources are seeded by construction),
 // internal/diskstore (wall-clock maintenance timing) and this package.
+//
+// internal/spatial gets the opposite treatment — strict mode: the cell
+// scans there sit under every geometric query of the radio hot path,
+// where even a commutative-looking map range is one refactor away from
+// feeding bucket order into delivery order, so ANY range over a map is
+// flagged regardless of body shape.
 var Determinism = &Analyzer{
 	Name:    "determinism",
 	Doc:     "forbids wall-clock, global RNG, order-sensitive map iteration and racing selects in the deterministic core",
@@ -47,6 +53,23 @@ var determinismExemptSuffixes = []string{
 	"/internal/fault",
 	"/internal/diskstore",
 	"/internal/lint",
+}
+
+// determinismStrictSuffixes lists packages under the strict no-map-
+// iteration rule ("fixture/spatial" is the test fixture's package
+// path, mirroring how fixtures resolve for the general rule).
+var determinismStrictSuffixes = []string{
+	"/internal/spatial",
+	"fixture/spatial",
+}
+
+func determinismStrict(path string) bool {
+	for _, suf := range determinismStrictSuffixes {
+		if strings.HasSuffix(path, suf) {
+			return true
+		}
+	}
+	return false
 }
 
 func determinismScoped(path, name string) bool {
@@ -135,6 +158,10 @@ func checkMapRange(p *Pass, rng *ast.RangeStmt) {
 		return
 	}
 	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if determinismStrict(p.Pkg.Path) {
+		p.Reportf(rng.Pos(), "map iteration is banned outright in the spatial index; keep cell scans on fixed offset loops and dense slices (DESIGN.md §14)")
 		return
 	}
 	sc := &mapRangeScope{p: p, rng: rng, collected: make(map[types.Object]bool)}

@@ -6,6 +6,28 @@ func TestDeterminismFixture(t *testing.T) {
 	RunFixture(t, Determinism, "testdata/determinism")
 }
 
+func TestDeterminismStrictFixture(t *testing.T) {
+	RunFixture(t, Determinism, "testdata/spatial")
+}
+
+func TestDeterminismStrictScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"pds/internal/spatial", true},
+		{"fixture/spatial", true},
+		{"pds/internal/core", false},
+		{"pds/internal/scenario", false},
+		{"pds/internal/radio", false},
+	}
+	for _, c := range cases {
+		if got := determinismStrict(c.path); got != c.want {
+			t.Errorf("determinismStrict(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
 func TestDeterminismScope(t *testing.T) {
 	cases := []struct {
 		path, name string
@@ -13,6 +35,7 @@ func TestDeterminismScope(t *testing.T) {
 	}{
 		{"pds/internal/core", "core", true},
 		{"pds/internal/scenario", "scenario", true},
+		{"pds/internal/spatial", "spatial", true},
 		{"pds/internal/wire", "wire", true},
 		{"fixture/determinism", "fixture", true},
 		{"pds", "pds", false},

@@ -21,6 +21,14 @@
 //
 // Positions, joins, leaves and moves may change at any time, driven by
 // package mobility.
+//
+// Scale: nodes live in a uniform-grid spatial index (package spatial)
+// whose cell edge equals the carrier-sense range, so every geometric
+// query — neighbor lists, carrier sensing, collision checks, delivery
+// fan-out — scans only the 3×3 cell block around the point of interest
+// instead of the whole population. Per-node hot state is held in dense
+// slices indexed by a small int handle; the id → handle map is touched
+// only on attach/detach and API lookups, never in per-frame loops.
 package radio
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"pds/internal/sim"
+	"pds/internal/spatial"
 	"pds/internal/trace"
 	"pds/internal/wire"
 )
@@ -158,18 +167,27 @@ type queuedFrame struct {
 	size int
 }
 
+// txRecord is one transmission's occupancy of the channel. Records hang
+// off their transmitting Radio (found through the spatial index by the
+// carrier-sense and collision queries) and are pooled: the medium
+// recycles them once they can no longer overlap anything.
 type txRecord struct {
-	from       wire.NodeID
+	owner      *Radio
 	start, end time.Duration
 }
 
 // Radio is one node's attachment to the medium.
 type Radio struct {
-	m   *Medium
-	id  wire.NodeID
-	pos Pos
+	m    *Medium
+	id   wire.NodeID
+	slot int32 // dense handle into Medium.radios and the spatial grid
+	pos  Pos
 	// deliver is invoked for every frame that survives to this node.
 	deliver func(*wire.Message)
+
+	// recs are this radio's transmissions that may still overlap a live
+	// one, oldest first (retired by Medium.prune).
+	recs []*txRecord
 
 	queue        []queuedFrame
 	queuedBytes  int
@@ -192,13 +210,37 @@ type Radio struct {
 
 // Medium is the shared broadcast channel.
 type Medium struct {
-	eng   *sim.Engine
-	cfg   Config
-	nodes map[wire.NodeID]*Radio
-	// history holds transmissions that may still overlap an active one.
-	history []txRecord
+	eng *sim.Engine
+	cfg Config
+
+	// index maps node id to dense slot. It is consulted on attach,
+	// detach and id-keyed API lookups only — per-frame paths work on
+	// slots and *Radio pointers.
+	index  map[wire.NodeID]int32
+	radios []*Radio      // dense slot -> radio, nil while slot is free
+	free   []int32       // recycled slots
+	ids    []wire.NodeID // attached ids, kept sorted
+	grid   *spatial.Grid // slot -> position, cell edge = senseRange
+
+	// txOrder holds live-or-recent transmission records in creation
+	// (= start-time) order.
+	txOrder []*txRecord
+	recPool []*txRecord
 	active  int // live (unfinished) transmissions
 	stats   Stats
+
+	// allPairs disables the spatial index for geometric queries and
+	// scans every attached radio instead — the O(n) reference mode the
+	// equivalence tests run against the grid.
+	allPairs bool
+
+	// scratch buffers, reused across queries to keep hot paths
+	// allocation-free. cand serves the short-lived sense/collision
+	// queries; rxCand is held across the delivery callbacks of one
+	// finishTransmission, which may themselves issue cand queries.
+	cand    []*Radio
+	rxCand  []*Radio
+	slotBuf []int32
 
 	// OnTransmit, when set, observes every transmission start (tracing).
 	OnTransmit func(from wire.NodeID, msg *wire.Message, size int)
@@ -219,7 +261,11 @@ func NewMedium(eng *sim.Engine, cfg Config) *Medium {
 	if cfg.Range <= 0 || cfg.MACBitRate <= 0 || cfg.FrameBytes <= 0 {
 		panic(fmt.Sprintf("radio: invalid config %+v", cfg))
 	}
-	return &Medium{eng: eng, cfg: cfg, nodes: make(map[wire.NodeID]*Radio)}
+	m := &Medium{eng: eng, cfg: cfg, index: make(map[wire.NodeID]int32)}
+	// Cell edge = carrier-sense range, the largest radius any query
+	// uses, so the 3×3 neighborhood covers both Range and senseRange.
+	m.grid = spatial.NewGrid(m.senseRange())
+	return m
 }
 
 // Stats returns a snapshot of the medium counters.
@@ -234,76 +280,133 @@ func (m *Medium) Config() Config { return m.cfg }
 // wire.Message ownership rules). Attaching an existing id panics:
 // scenarios must manage id uniqueness.
 func (m *Medium) Attach(id wire.NodeID, pos Pos, deliver func(*wire.Message)) *Radio {
-	if _, dup := m.nodes[id]; dup {
+	if _, dup := m.index[id]; dup {
 		panic(fmt.Sprintf("radio: duplicate node id %d", id))
 	}
-	r := &Radio{m: m, id: id, pos: pos, deliver: deliver}
-	m.nodes[id] = r
+	var slot int32
+	if n := len(m.free); n > 0 {
+		slot = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		slot = int32(len(m.radios))
+		m.radios = append(m.radios, nil)
+	}
+	r := &Radio{m: m, id: id, slot: slot, pos: pos, deliver: deliver}
+	m.index[id] = slot
+	m.radios[slot] = r
+	m.grid.Insert(slot, pos.X, pos.Y)
+	i := sort.Search(len(m.ids), func(i int) bool { return m.ids[i] >= id })
+	m.ids = append(m.ids, 0)
+	copy(m.ids[i+1:], m.ids[i:])
+	m.ids[i] = id
 	return r
 }
 
 // Detach removes a node (mobility leave). In-flight frames are not
-// delivered to it, its queued frames are discarded.
+// delivered to it, its queued frames are discarded. Frames it had in
+// the air stop being sensed or interfering immediately.
 func (m *Medium) Detach(id wire.NodeID) {
-	if r, ok := m.nodes[id]; ok {
-		r.gone = true
-		delete(m.nodes, id)
+	slot, ok := m.index[id]
+	if !ok {
+		return
 	}
+	r := m.radios[slot]
+	r.gone = true
+	m.grid.Remove(slot)
+	m.radios[slot] = nil
+	m.free = append(m.free, slot)
+	delete(m.index, id)
+	i := sort.Search(len(m.ids), func(i int) bool { return m.ids[i] >= id })
+	m.ids = append(m.ids[:i], m.ids[i+1:]...)
 }
 
 // SetPosition moves a node.
 func (m *Medium) SetPosition(id wire.NodeID, pos Pos) {
-	if r, ok := m.nodes[id]; ok {
-		r.pos = pos
+	slot, ok := m.index[id]
+	if !ok {
+		return
+	}
+	m.radios[slot].pos = pos
+	m.grid.Move(slot, pos.X, pos.Y)
+}
+
+// Move pairs a node id with a new position for SetPositions.
+type Move struct {
+	ID  wire.NodeID
+	Pos Pos
+}
+
+// SetPositions applies a batch of moves — the bulk entry point mobility
+// drivers use when advancing every node once per step. Moves for
+// detached ids are ignored, like SetPosition.
+func (m *Medium) SetPositions(moves []Move) {
+	for i := range moves {
+		m.SetPosition(moves[i].ID, moves[i].Pos)
 	}
 }
 
 // Position returns a node's position.
 func (m *Medium) Position(id wire.NodeID) (Pos, bool) {
-	r, ok := m.nodes[id]
+	slot, ok := m.index[id]
 	if !ok {
 		return Pos{}, false
 	}
-	return r.pos, true
+	return m.radios[slot].pos, true
 }
 
 // InRange reports whether two attached nodes are within radio range.
 func (m *Medium) InRange(a, b wire.NodeID) bool {
-	ra, ok := m.nodes[a]
+	sa, ok := m.index[a]
 	if !ok {
 		return false
 	}
-	rb, ok := m.nodes[b]
+	sb, ok := m.index[b]
 	if !ok {
 		return false
 	}
-	return ra.pos.Dist(rb.pos) <= m.cfg.Range
+	return m.radios[sa].pos.Dist(m.radios[sb].pos) <= m.cfg.Range
 }
 
-// Neighbors returns the ids of all nodes in range of id, excluding id.
+// candidates fills m.cand with every radio whose current position can
+// satisfy a query of radius <= senseRange around p: the 3×3 cell block
+// around p's cell, or every attached radio in allPairs reference mode.
+// The result aliases m.cand and is invalidated by the next call.
+func (m *Medium) candidates(p Pos) []*Radio {
+	m.cand = m.cand[:0]
+	if m.allPairs {
+		for _, id := range m.ids {
+			m.cand = append(m.cand, m.radios[m.index[id]])
+		}
+		return m.cand
+	}
+	m.slotBuf = m.grid.AppendNeighborhood(p.X, p.Y, m.slotBuf[:0])
+	for _, s := range m.slotBuf {
+		m.cand = append(m.cand, m.radios[s])
+	}
+	return m.cand
+}
+
+// Neighbors returns the ids of all nodes in range of id, excluding id,
+// sorted ascending.
 func (m *Medium) Neighbors(id wire.NodeID) []wire.NodeID {
-	self, ok := m.nodes[id]
+	slot, ok := m.index[id]
 	if !ok {
 		return nil
 	}
+	self := m.radios[slot]
 	var out []wire.NodeID
-	for nid, r := range m.nodes {
-		if nid != id && r.pos.Dist(self.pos) <= m.cfg.Range {
-			out = append(out, nid)
+	for _, r := range m.candidates(self.pos) {
+		if r != self && r.pos.Dist(self.pos) <= m.cfg.Range {
+			out = append(out, r.id)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// NodeIDs returns all attached node ids, sorted.
+// NodeIDs returns all attached node ids, sorted ascending.
 func (m *Medium) NodeIDs() []wire.NodeID {
-	out := make([]wire.NodeID, 0, len(m.nodes))
-	for id := range m.nodes {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]wire.NodeID(nil), m.ids...)
 }
 
 // airtime returns how long a message of size bytes occupies the channel.
@@ -331,20 +434,20 @@ func (m *Medium) senseRange() float64 {
 // counts transmissions regardless of SenseLag: it estimates how long to
 // defer, not whether a collision occurs.
 func (m *Medium) busyUntil(r *Radio) time.Duration {
+	if m.active == 0 {
+		return 0
+	}
 	now := m.eng.Now()
 	sr := m.senseRange()
 	var until time.Duration
-	for i := range m.history {
-		rec := &m.history[i]
-		if rec.end <= now {
+	for _, tx := range m.candidates(r.pos) {
+		if len(tx.recs) == 0 || tx.pos.Dist(r.pos) > sr {
 			continue
 		}
-		tx, ok := m.nodes[rec.from]
-		if !ok {
-			continue
-		}
-		if tx.pos.Dist(r.pos) <= sr && rec.end > until {
-			until = rec.end
+		for _, rec := range tx.recs {
+			if rec.end > now && rec.end > until {
+				until = rec.end
+			}
 		}
 	}
 	return until
@@ -360,17 +463,14 @@ func (m *Medium) busyFor(r *Radio) bool {
 	}
 	now := m.eng.Now()
 	sr := m.senseRange()
-	for i := range m.history {
-		rec := &m.history[i]
-		if rec.end <= now || now-rec.start < m.cfg.SenseLag {
+	for _, tx := range m.candidates(r.pos) {
+		if len(tx.recs) == 0 || tx.pos.Dist(r.pos) > sr {
 			continue
 		}
-		tx, ok := m.nodes[rec.from]
-		if !ok {
-			continue
-		}
-		if tx.pos.Dist(r.pos) <= sr {
-			return true
+		for _, rec := range tx.recs {
+			if rec.end > now && now-rec.start >= m.cfg.SenseLag {
+				return true
+			}
 		}
 	}
 	return false
@@ -488,8 +588,9 @@ func (r *Radio) transmitIfClear() {
 	m := r.m
 	now := m.eng.Now()
 	dur := m.airtime(fr.size)
-	rec := txRecord{from: r.id, start: now, end: now + dur}
-	m.history = append(m.history, rec)
+	rec := m.newRecord(r, now, now+dur)
+	r.recs = append(r.recs, rec)
+	m.txOrder = append(m.txOrder, rec)
 	m.active++
 	m.stats.Transmissions++
 	m.stats.TxBytes += uint64(fr.size)
@@ -513,22 +614,22 @@ func (r *Radio) transmitIfClear() {
 }
 
 // finishTransmission delivers a completed frame to every in-range node,
-// applying collision and random-loss rules, then prunes history.
-func (m *Medium) finishTransmission(rec txRecord, msg *wire.Message) {
+// applying collision and random-loss rules, then prunes retired records.
+func (m *Medium) finishTransmission(rec *txRecord, msg *wire.Message) {
 	m.active--
-	sender, senderAlive := m.nodes[rec.from]
-	if senderAlive {
-		// Deliver in sorted id order: map iteration order would leak
-		// nondeterminism into RNG draws and event ordering, breaking
-		// the engine's reproducibility guarantee.
-		ids := make([]wire.NodeID, 0, len(m.nodes))
-		for id := range m.nodes {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			rx := m.nodes[id]
-			if id == rec.from {
+	sender := rec.owner
+	if !sender.gone {
+		// Candidate receivers are everyone the spatial index puts near
+		// the sender's current position — a superset of the in-range
+		// set. Deliver in sorted id order: index iteration order would
+		// leak placement history into RNG draws and event ordering,
+		// breaking the engine's reproducibility guarantee. rxCand is
+		// reserved for this loop because deliver callbacks may issue
+		// nested sense queries through m.cand.
+		cand := append(m.rxCand[:0], m.candidates(sender.pos)...)
+		sort.Slice(cand, func(i, j int) bool { return cand[i].id < cand[j].id })
+		for _, rx := range cand {
+			if rx == sender || rx.gone {
 				continue
 			}
 			if rx.pos.Dist(sender.pos) > m.cfg.Range {
@@ -536,39 +637,39 @@ func (m *Medium) finishTransmission(rec txRecord, msg *wire.Message) {
 			}
 			if m.collided(rec, rx, sender) {
 				m.stats.Collisions++
-				m.Tracer.Frame(trace.FrameCollision, id, rec.from, msg)
+				m.Tracer.Frame(trace.FrameCollision, rx.id, sender.id, msg)
 				continue
 			}
 			copies := 1
 			if m.Channel != nil {
-				switch m.Channel.Fate(rec.from, id, m.eng.Now()) {
+				switch m.Channel.Fate(sender.id, rx.id, m.eng.Now()) {
 				case FateLost:
 					m.stats.RandomLosses++
-					m.Tracer.Frame(trace.FrameLost, id, rec.from, msg)
+					m.Tracer.Frame(trace.FrameLost, rx.id, sender.id, msg)
 					continue
 				case FateCorrupt:
 					// The MAC CRC rejects the damaged frame at the
 					// receiver; upper layers never see it.
 					m.stats.CorruptFrames++
-					m.Tracer.Frame(trace.FrameCorrupt, id, rec.from, msg)
+					m.Tracer.Frame(trace.FrameCorrupt, rx.id, sender.id, msg)
 					continue
 				case FateDuplicate:
 					m.stats.DupFrames++
-					m.Tracer.Frame(trace.FrameDup, id, rec.from, msg)
+					m.Tracer.Frame(trace.FrameDup, rx.id, sender.id, msg)
 					copies = 2
 				}
 			} else if m.cfg.BaseLoss > 0 && m.eng.Rand().Float64() < m.cfg.BaseLoss {
 				m.stats.RandomLosses++
-				m.Tracer.Frame(trace.FrameLost, id, rec.from, msg)
+				m.Tracer.Frame(trace.FrameLost, rx.id, sender.id, msg)
 				continue
 			}
 			for c := 0; c < copies; c++ {
 				rx.Received++
 				m.stats.Delivered++
 				if m.OnDeliver != nil {
-					m.OnDeliver(rec.from, id, msg)
+					m.OnDeliver(sender.id, rx.id, msg)
 				}
-				m.Tracer.Frame(trace.FrameRx, id, rec.from, msg)
+				m.Tracer.Frame(trace.FrameRx, rx.id, sender.id, msg)
 				if rx.deliver != nil {
 					// One shared frame for every receiver: a broadcast
 					// puts the same bits on the air for everyone, and
@@ -580,6 +681,7 @@ func (m *Medium) finishTransmission(rec txRecord, msg *wire.Message) {
 				}
 			}
 		}
+		m.rxCand = cand[:0]
 	}
 	m.prune(rec.end)
 }
@@ -589,52 +691,91 @@ func (m *Medium) finishTransmission(rec txRecord, msg *wire.Message) {
 // transmission audible at rx was too strong for capture. With capture
 // enabled, the frame survives when its sender is decisively closer to
 // rx than every interferer, as a SINR receiver would decode it.
-func (m *Medium) collided(rec txRecord, rx *Radio, sender *Radio) bool {
+func (m *Medium) collided(rec *txRecord, rx *Radio, sender *Radio) bool {
 	dSig := sender.pos.Dist(rx.pos)
-	for i := range m.history {
-		o := &m.history[i]
-		if o.from == rec.from && o.start == rec.start {
-			continue // rec itself
-		}
-		if o.end <= rec.start || o.start >= rec.end {
-			continue // no time overlap
-		}
-		if o.from == rx.id {
-			return true // half duplex: rx was sending
-		}
-		tx, ok := m.nodes[o.from]
-		if !ok {
+	sr := m.senseRange()
+	for _, tx := range m.candidates(rx.pos) {
+		if len(tx.recs) == 0 {
 			continue
 		}
-		// Interference reaches out to the sense range: a signal too
-		// weak to decode still corrupts concurrent reception.
 		dInt := tx.pos.Dist(rx.pos)
-		if dInt > m.senseRange() {
-			continue
+		for _, o := range tx.recs {
+			if o == rec {
+				continue // rec itself
+			}
+			if o.end <= rec.start || o.start >= rec.end {
+				continue // no time overlap
+			}
+			if tx == rx {
+				return true // half duplex: rx was sending
+			}
+			// Interference reaches out to the sense range: a signal too
+			// weak to decode still corrupts concurrent reception.
+			if dInt > sr {
+				continue
+			}
+			if m.cfg.CaptureMargin > 0 && dInt >= dSig*m.cfg.CaptureMargin {
+				continue // captured: our signal dominates this interferer
+			}
+			return true
 		}
-		if m.cfg.CaptureMargin > 0 && dInt >= dSig*m.cfg.CaptureMargin {
-			continue // captured: our signal dominates this interferer
-		}
-		return true
 	}
 	return false
 }
 
-// prune drops history records that can no longer overlap any live or
-// future transmission: everything that ended before the earliest start
-// of a still-active record and before now.
+// newRecord takes a record from the pool or allocates one.
+func (m *Medium) newRecord(owner *Radio, start, end time.Duration) *txRecord {
+	if n := len(m.recPool); n > 0 {
+		rec := m.recPool[n-1]
+		m.recPool[n-1] = nil
+		m.recPool = m.recPool[:n-1]
+		*rec = txRecord{owner: owner, start: start, end: end}
+		return rec
+	}
+	return &txRecord{owner: owner, start: start, end: end}
+}
+
+// prune retires records that can no longer affect a sense or collision
+// query: everything that ended before the earliest start of a
+// still-active record and before now. Each retired record is unlinked
+// from its owner and returned to the pool. A retired record's
+// airtime-end event has always already run (it fires exactly at
+// rec.end < now), so no reference to it survives outside the medium.
+//
+// The cutoff deliberately treats a transmission ending exactly at now
+// as inactive even though its delivery event may not have run yet: when
+// two frames end at the same instant, the first finisher's prune
+// forgets interferers that only overlapped the second. The pre-spatial
+// medium behaved this way, and same-seed reproducibility pins it.
 func (m *Medium) prune(now time.Duration) {
 	earliest := now
-	for i := range m.history {
-		if m.history[i].end > now && m.history[i].start < earliest {
-			earliest = m.history[i].start
+	for _, rec := range m.txOrder {
+		if rec.end > now {
+			if rec.start < earliest {
+				earliest = rec.start
+			}
+			break // start-ordered: the first active record has min start
 		}
 	}
-	kept := m.history[:0]
-	for _, rec := range m.history {
+	kept := m.txOrder[:0]
+	for _, rec := range m.txOrder {
 		if rec.end >= earliest {
 			kept = append(kept, rec)
+			continue
 		}
+		owner := rec.owner
+		for i, o := range owner.recs {
+			if o == rec {
+				copy(owner.recs[i:], owner.recs[i+1:])
+				owner.recs[len(owner.recs)-1] = nil
+				owner.recs = owner.recs[:len(owner.recs)-1]
+				break
+			}
+		}
+		m.recPool = append(m.recPool, rec)
 	}
-	m.history = kept
+	for i := len(kept); i < len(m.txOrder); i++ {
+		m.txOrder[i] = nil
+	}
+	m.txOrder = kept
 }

@@ -85,10 +85,14 @@ type Deployment struct {
 	Eng    *sim.Engine
 	Medium *radio.Medium
 	Peers  map[wire.NodeID]*Peer
-	opts   Options
-	seed   int64
-	pinned map[wire.NodeID]bool
-	tracer *trace.Tracer
+	// peerIDs mirrors the keys of Peers in ascending order, maintained
+	// incrementally by AddPeer/RemovePeer so city-scale loops never pay
+	// a collect-and-sort over the whole population per call.
+	peerIDs []wire.NodeID
+	opts    Options
+	seed    int64
+	pinned  map[wire.NodeID]bool
+	tracer  *trace.Tracer
 }
 
 // EnableTracing attaches a hop-level event tracer to the whole
@@ -155,6 +159,10 @@ func (d *Deployment) AddPeer(id wire.NodeID, pos radio.Pos) *Peer {
 		d.attachDisk(p)
 	}
 	d.Peers[id] = p
+	i := sort.Search(len(d.peerIDs), func(i int) bool { return d.peerIDs[i] >= id })
+	d.peerIDs = append(d.peerIDs, 0)
+	copy(d.peerIDs[i+1:], d.peerIDs[i:])
+	d.peerIDs[i] = id
 	return p
 }
 
@@ -198,6 +206,8 @@ func (d *Deployment) RemovePeer(id wire.NodeID) {
 			p.Disk.Store().Close()
 		}
 		delete(d.Peers, id)
+		i := sort.Search(len(d.peerIDs), func(i int) bool { return d.peerIDs[i] >= id })
+		d.peerIDs = append(d.peerIDs[:i], d.peerIDs[i+1:]...)
 	}
 }
 
@@ -412,17 +422,11 @@ func (d *Deployment) DistributeChunks(item attr.Descriptor, chunkSize, redundanc
 	return item
 }
 
+// sortedPeerIDs returns the ascending peer id list. The slice is the
+// deployment's live cache: callers must not mutate it or add/remove
+// peers while iterating it (take a copy for churn loops).
 func (d *Deployment) sortedPeerIDs() []wire.NodeID {
-	return sortedNodeIDs(d.Peers)
-}
-
-func sortedNodeIDs(peers map[wire.NodeID]*Peer) []wire.NodeID {
-	ids := make([]wire.NodeID, 0, len(peers))
-	for id := range peers {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return d.peerIDs
 }
 
 // newRand returns a deterministic random source for scenario helpers.

@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/figure_rows.golden from the current implementation")
+
+// goldenFigureRows renders the pinned figures — Fig 8, Fig 11, chaos and
+// disk — as one deterministic text blob. Single run per point, base
+// seed 1: exactly the rows `pds-bench -seed 1 -runs 1` prints for these
+// figures.
+func goldenFigureRows(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(Fig08SimultaneousConsumers(1, 1).String())
+	b.WriteString(Fig11DataItemSize(1, 1).String())
+	b.WriteString(ChaosSeries(1, 1).String())
+	b.WriteString(DiskSeries(1, 1, t.TempDir()).String())
+	return b.String()
+}
+
+// TestFigureRowsGolden pins the metric rows of the Fig8 / Fig11 / chaos
+// / disk figures byte-for-byte against testdata/figure_rows.golden. The
+// golden file was captured before the city-scale core refactor (spatial
+// radio index, timing-wheel scheduler, dense node state); any
+// simulation-visible behavior change in those layers shows up here as a
+// diff. Regenerate deliberately with -update-golden.
+func TestFigureRowsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	path := filepath.Join("testdata", "figure_rows.golden")
+	got := goldenFigureRows(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("metric rows diverged from pre-refactor golden.\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}

@@ -1,5 +1,6 @@
 // Package sim implements a deterministic discrete-event simulation
-// engine: a virtual clock, an event heap and a seeded random source.
+// engine: a virtual clock, a hierarchical timing-wheel event queue and
+// a seeded random source.
 //
 // The engine is single-threaded by design. Every protocol node is a set
 // of callbacks scheduled on the engine, so a whole-network experiment is
@@ -9,52 +10,18 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback.
+// event is a scheduled callback.
 type event struct {
 	at   time.Duration
 	seq  uint64 // FIFO tie-break for events at the same instant
 	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index, -1 when popped
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	dead bool   // cancelled
+	next *event // intrusive slot list link (see wheel.go)
 }
 
 // Engine is a discrete-event scheduler with a virtual clock starting at
@@ -63,7 +30,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now    time.Duration
 	seq    uint64
-	events eventHeap
+	events wheelQueue
 	rng    *rand.Rand
 	// processed counts executed (non-cancelled) events, a cheap runaway
 	// guard and progress signal for tests.
@@ -89,29 +56,32 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) (cancel func()) {
 	}
 	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.events, ev)
-	return func() { ev.dead = true }
+	e.events.push(ev)
+	return func() {
+		if !ev.dead && ev.fn != nil {
+			e.events.cancel(ev)
+		}
+	}
 }
 
 // Step executes the next pending event, advancing the clock to it. It
 // reports whether an event was executed (false when the queue is empty).
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.dead {
-			continue
-		}
-		if ev.at < e.now {
-			// Defensive: the heap ordering makes this impossible; a
-			// violation means engine state was corrupted externally.
-			panic(fmt.Sprintf("sim: event at %v before now %v", ev.at, e.now))
-		}
-		e.now = ev.at
-		e.processed++
-		ev.fn()
-		return true
+	ev := e.events.pop()
+	if ev == nil {
+		return false
 	}
-	return false
+	if ev.at < e.now {
+		// Defensive: the wheel ordering makes this impossible; a
+		// violation means engine state was corrupted externally.
+		panic(fmt.Sprintf("sim: event at %v before now %v", ev.at, e.now))
+	}
+	e.now = ev.at
+	e.processed++
+	fn := ev.fn
+	ev.fn = nil // executed: the returned cancel must become a no-op
+	fn()
+	return true
 }
 
 // Run executes events until the queue empties or the virtual clock
@@ -119,9 +89,9 @@ func (e *Engine) Step() bool {
 // scheduled exactly at the deadline still run.
 func (e *Engine) Run(deadline time.Duration) uint64 {
 	start := e.processed
-	for len(e.events) > 0 {
-		next := e.peek()
-		if next.at > deadline {
+	for {
+		at, ok := e.events.peekAt()
+		if !ok || at > deadline {
 			break
 		}
 		e.Step()
@@ -136,9 +106,9 @@ func (e *Engine) Run(deadline time.Duration) uint64 {
 // or the clock passes deadline. stop is evaluated after every event.
 func (e *Engine) RunUntil(deadline time.Duration, stop func() bool) uint64 {
 	start := e.processed
-	for len(e.events) > 0 && !stop() {
-		next := e.peek()
-		if next.at > deadline {
+	for !stop() {
+		at, ok := e.events.peekAt()
+		if !ok || at > deadline {
 			break
 		}
 		e.Step()
@@ -146,27 +116,10 @@ func (e *Engine) RunUntil(deadline time.Duration, stop func() bool) uint64 {
 	return e.processed - start
 }
 
-func (e *Engine) peek() *event {
-	// Drop dead events from the top so deadline checks see live ones.
-	for len(e.events) > 0 && e.events[0].dead {
-		heap.Pop(&e.events)
-	}
-	if len(e.events) == 0 {
-		return &event{at: 1<<62 - 1}
-	}
-	return e.events[0]
-}
-
-// Pending reports the number of live scheduled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live scheduled events. It is pure
+// introspection: no queue state is mutated, so interleaving Pending
+// with Schedule/Step/cancel never perturbs event order.
+func (e *Engine) Pending() int { return e.events.live }
 
 // Processed returns the count of executed events so far.
 func (e *Engine) Processed() uint64 { return e.processed }

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refEvent / refHeap are the pre-wheel binary-heap scheduler, kept as
+// the reference model: same (at, seq) ordering, same lazy-cancel
+// semantics. The property test below runs randomized workloads through
+// the engine and this model in lockstep and demands identical
+// execution traces.
+type refEvent struct {
+	at   time.Duration
+	seq  uint64
+	id   int
+	dead bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// refModel mirrors Engine semantics on top of refHeap.
+type refModel struct {
+	now    time.Duration
+	seq    uint64
+	events refHeap
+}
+
+func (m *refModel) schedule(delay time.Duration, id int) *refEvent {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &refEvent{at: m.now + delay, seq: m.seq, id: id}
+	m.seq++
+	heap.Push(&m.events, ev)
+	return ev
+}
+
+// step pops the next live event, advances the clock, and returns its
+// id, or -1 when empty.
+func (m *refModel) step() (int, time.Duration) {
+	for len(m.events) > 0 {
+		ev := heap.Pop(&m.events).(*refEvent)
+		if ev.dead {
+			continue
+		}
+		m.now = ev.at
+		return ev.id, ev.at
+	}
+	return -1, 0
+}
+
+func (m *refModel) pending() int {
+	n := 0
+	for _, ev := range m.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// TestWheelMatchesReferenceHeap drives the timing-wheel engine and the
+// reference heap model with the same randomized workload — bursts of
+// schedules at delays spanning every wheel level, cancels, nested
+// re-scheduling — and checks that both execute the same events in the
+// same order at the same times, with the same pending counts.
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	delays := []time.Duration{
+		0, 1, 100, // sub-tick
+		5 * time.Microsecond, 60 * time.Microsecond, // level 0
+		300 * time.Microsecond, 5 * time.Millisecond, // levels 1–2
+		900 * time.Millisecond, 30 * time.Second, // levels 3–4
+		20 * time.Minute, 7 * time.Hour, // levels 5–6
+	}
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		eng := NewEngine(1)
+		ref := &refModel{}
+
+		var gotIDs []int
+		nextID := 0
+		type pair struct {
+			cancelEng func()
+			refEv     *refEvent
+		}
+		var cancellable []pair
+
+		scheduleOne := func(delay time.Duration) {
+			id := nextID
+			nextID++
+			cancelEng := eng.Schedule(delay, func() { gotIDs = append(gotIDs, id) })
+			refEv := ref.schedule(delay, id)
+			cancellable = append(cancellable, pair{cancelEng, refEv})
+		}
+
+		// Seed an initial burst, then interleave steps with schedules
+		// and cancels.
+		for i := 0; i < 30; i++ {
+			scheduleOne(delays[rng.Intn(len(delays))] + time.Duration(rng.Intn(5000)))
+		}
+		for op := 0; op < 600; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				scheduleOne(delays[rng.Intn(len(delays))] + time.Duration(rng.Intn(5000)))
+			case 3:
+				if len(cancellable) > 0 {
+					p := cancellable[rng.Intn(len(cancellable))]
+					p.cancelEng()
+					p.refEv.dead = true
+				}
+			default:
+				wantID, wantAt := ref.step()
+				before := len(gotIDs)
+				stepped := eng.Step()
+				if wantID == -1 {
+					if stepped {
+						t.Fatalf("trial %d: engine stepped with empty reference", trial)
+					}
+					continue
+				}
+				if !stepped || len(gotIDs) != before+1 || gotIDs[len(gotIDs)-1] != wantID {
+					t.Fatalf("trial %d op %d: engine ran %v, reference wants id %d",
+						trial, op, gotIDs[before:], wantID)
+				}
+				if eng.Now() != wantAt {
+					t.Fatalf("trial %d: clock %v, reference %v", trial, eng.Now(), wantAt)
+				}
+			}
+			if eng.Pending() != ref.pending() {
+				t.Fatalf("trial %d op %d: Pending=%d, reference=%d",
+					trial, op, eng.Pending(), ref.pending())
+			}
+		}
+		// Drain both completely; the tails must agree too.
+		for {
+			wantID, _ := ref.step()
+			if wantID == -1 {
+				break
+			}
+			before := len(gotIDs)
+			if !eng.Step() || gotIDs[len(gotIDs)-1] != wantID {
+				t.Fatalf("trial %d drain: got %v, want id %d", trial, gotIDs[before:], wantID)
+			}
+		}
+		if eng.Step() {
+			t.Fatalf("trial %d: engine had events after reference drained", trial)
+		}
+	}
+}
+
+// TestPendingIsSideEffectFree pins the satellite fix: calling Pending
+// (and peeking via Run deadline checks) between schedules must not
+// perturb execution order or counts.
+func TestPendingIsSideEffectFree(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(time.Duration(i)*time.Millisecond, func() { got = append(got, i) })
+	}
+	cancel := e.Schedule(2500*time.Microsecond, func() { t.Fatal("cancelled event ran") })
+	cancel()
+	for i := 0; i < 10; i++ {
+		if e.Pending() != 5 {
+			t.Fatalf("Pending = %d, want 5", e.Pending())
+		}
+	}
+	e.Step()
+	if e.Pending() != 4 {
+		t.Fatalf("Pending after one step = %d, want 4", e.Pending())
+	}
+	e.Run(time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("order perturbed: %v", got)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d", e.Pending())
+	}
+}
+
+// TestWheelFarFutureAndJumpBack exercises cursor overshoot: Run moves
+// the clock past the last event, then a short schedule must still run
+// before a far-future one parked across several wheel levels.
+func TestWheelFarFutureAndJumpBack(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.Schedule(3*time.Hour, func() { got = append(got, "far") })
+	e.Run(time.Minute) // no events <= 1m; clock jumps to 1m
+	if e.Now() != time.Minute {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	e.Schedule(time.Millisecond, func() { got = append(got, "near") })
+	e.Schedule(0, func() { got = append(got, "now") })
+	e.Run(4 * time.Hour)
+	want := []string{"now", "near", "far"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWheelManySameTick stresses FIFO within a single wheel tick under
+// interleaved cancels.
+func TestWheelManySameTick(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	var cancels []func()
+	for i := 0; i < 1000; i++ {
+		i := i
+		cancels = append(cancels, e.Schedule(time.Microsecond, func() { got = append(got, i) }))
+	}
+	for i := 0; i < 1000; i += 3 {
+		cancels[i]()
+	}
+	e.Run(time.Second)
+	want := 0
+	idx := 0
+	for ; want < 1000; want++ {
+		if want%3 == 0 {
+			continue
+		}
+		if got[idx] != want {
+			t.Fatalf("got[%d] = %d, want %d", idx, got[idx], want)
+		}
+		idx++
+	}
+	if idx != len(got) {
+		t.Fatalf("ran %d events, want %d", len(got), idx)
+	}
+}
+
+// BenchmarkSchedulePop measures raw queue throughput at a depth the
+// city-scale scenarios sustain.
+func BenchmarkSchedulePop(b *testing.B) {
+	e := NewEngine(1)
+	rng := rand.New(rand.NewSource(7))
+	const depth = 50000
+	for i := 0; i < depth; i++ {
+		e.Schedule(time.Duration(rng.Intn(1e9)), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(rng.Intn(1e9)), func() {})
+		e.Step()
+	}
+}
