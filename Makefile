@@ -37,14 +37,17 @@ verify: lint
 	$(GO) test ./...
 	$(GO) test -race ./...
 
-# fuzz runs short bursts of the decode fuzzers: the codec, the datagram
-# framing above it, the tracker wire protocol, and the persistent
-# store's record framing below it.
+# fuzz runs short bursts of the fuzzers: the codec, the datagram
+# framing above it, the tracker wire protocol, the persistent store's
+# record framing below it, and the two CLI spec grammars (fault plans
+# and workload specs).
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/udptransport -fuzz FuzzDecodeDatagram -fuzztime 30s
 	$(GO) test ./internal/tracker -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/diskstore -fuzz FuzzSegmentDecode -fuzztime 30s
+	$(GO) test ./internal/fault -fuzz FuzzParsePlan -fuzztime 30s
+	$(GO) test ./internal/workload -fuzz FuzzParseSpec -fuzztime 30s
 
 # bench regenerates every figure with machine-readable output in
 # BENCH_PDS.json (wall time and allocation counters per figure), plus

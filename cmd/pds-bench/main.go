@@ -8,7 +8,8 @@
 //
 // where <figure> is one of: fig3, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig9class, fig11, fig12, fig12class, fig13, fig15, fig16, saturation,
-// leaky, ack, ablation, balance, cache, chaos, disk, scale, all.
+// leaky, ack, ablation, balance, cache, chaos, disk, scale, stream,
+// crowd, all.
 //
 // With -json, machine-readable results — every metric row plus wall
 // time and allocation counters per figure — are also written to
@@ -63,6 +64,7 @@ type jsonPoint struct {
 	Rounds        float64                `json:"rounds,omitempty"`
 	Faults        *metrics.FaultCounters `json:"faults,omitempty"`
 	Disk          *metrics.DiskCounters  `json:"disk,omitempty"`
+	QoE           *metrics.QoECounters   `json:"qoe,omitempty"`
 }
 
 // jsonSeries is one figure line.
@@ -122,6 +124,7 @@ func toJSONSeries(series []*metrics.Series) []jsonSeries {
 				jp.Faults = &f
 			}
 			jp.Disk = p.Sample.Disk
+			jp.QoE = p.Sample.QoE
 			js.Points = append(js.Points, jp)
 		}
 		out = append(out, js)
@@ -255,6 +258,12 @@ func run(args []string) error {
 			}
 			defer os.RemoveAll(root)
 			return []*metrics.Series{scenario.DiskSeries(*seed, *runs, root)}
+		}},
+		{name: "stream", desc: "Workload: streaming QoE vs prefetch depth (clean / lossy)", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.StreamSeries(*seed, *runs)}
+		}},
+		{name: "crowd", desc: "Workload: flash-crowd artifact distribution QoE (poisson / step)", run: func() []*metrics.Series {
+			return []*metrics.Series{scenario.CrowdSeries(*seed, *runs)}
 		}},
 		{name: "scale", desc: "City scale: waypoint population, sim-hour throughput", run: func() []*metrics.Series {
 			res := scenario.CityRun(scenario.CityConfig{Nodes: *nodes}, *simHour, *seed)

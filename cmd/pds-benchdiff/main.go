@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -103,6 +104,18 @@ func run(args []string) error {
 		return err
 	}
 
+	if failed := diff(os.Stdout, base, cur, *threshold, *rawWall); failed > 0 {
+		return fmt.Errorf("%d cost regression(s) beyond %.0f%%", failed, *threshold*100)
+	}
+	fmt.Printf("no regressions beyond %.0f%%\n", *threshold*100)
+	return nil
+}
+
+// diff compares the current report against the baseline figure by
+// figure, writes one line per compared axis (and one notice per figure
+// present in only one report) to w, and returns the number of axes
+// that regressed beyond threshold.
+func diff(w io.Writer, base, cur *report, threshold float64, rawWall bool) int {
 	baseByName := make(map[string]figure, len(base.Figures))
 	for _, f := range base.Figures {
 		baseByName[f.Name] = f
@@ -116,11 +129,11 @@ func run(args []string) error {
 		}
 		delta := (curVal - baseVal) / baseVal
 		mark := "ok"
-		if delta > *threshold {
+		if delta > threshold {
 			mark = "REGRESSION"
 			failed++
 		}
-		fmt.Printf("%-12s %-11s %12.4g -> %-12.4g %+6.1f%%  %s\n",
+		fmt.Fprintf(w, "%-12s %-11s %12.4g -> %-12.4g %+6.1f%%  %s\n",
 			name, axis, baseVal, curVal, delta*100, mark)
 	}
 
@@ -129,14 +142,14 @@ func run(args []string) error {
 		seen[f.Name] = true
 		b, ok := baseByName[f.Name]
 		if !ok {
-			fmt.Printf("%-12s new figure, no baseline — skipped\n", f.Name)
+			fmt.Fprintf(w, "%-12s new figure, no baseline — skipped\n", f.Name)
 			continue
 		}
 		if b.Allocs >= minAllocs {
 			check(f.Name, "allocs", float64(b.Allocs), float64(f.Allocs))
 			check(f.Name, "alloc-bytes", float64(b.AllocBytes), float64(f.AllocBytes))
 		}
-		if *rawWall {
+		if rawWall {
 			if b.WallSeconds/baseTotal >= minWallShare {
 				check(f.Name, "wall-s", b.WallSeconds, f.WallSeconds)
 			}
@@ -146,12 +159,8 @@ func run(args []string) error {
 	}
 	for _, f := range base.Figures {
 		if !seen[f.Name] {
-			fmt.Printf("%-12s dropped from current report\n", f.Name)
+			fmt.Fprintf(w, "%-12s dropped from current report\n", f.Name)
 		}
 	}
-	if failed > 0 {
-		return fmt.Errorf("%d cost regression(s) beyond %.0f%%", failed, *threshold*100)
-	}
-	fmt.Printf("no regressions beyond %.0f%%\n", *threshold*100)
-	return nil
+	return failed
 }

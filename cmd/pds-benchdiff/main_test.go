@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig builds a figure whose allocation axis is above the noise floor.
+func fig(name string, wall float64, allocs uint64) figure {
+	return figure{Name: name, WallSeconds: wall, Allocs: allocs, AllocBytes: allocs * 64}
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	base := &report{Figures: []figure{fig("pdd", 10, 2_000_000), fig("pdr", 10, 2_000_000)}}
+	cur := &report{Figures: []figure{fig("pdd", 10.5, 2_050_000), fig("pdr", 9.5, 1_900_000)}}
+	var out strings.Builder
+	if failed := diff(&out, base, cur, 0.10, false); failed != 0 {
+		t.Fatalf("failed = %d, want 0\n%s", failed, out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("unexpected regression mark:\n%s", out.String())
+	}
+}
+
+func TestDiffDetectsRegression(t *testing.T) {
+	base := &report{Figures: []figure{fig("pdd", 10, 2_000_000)}}
+	cur := &report{Figures: []figure{fig("pdd", 10, 3_000_000)}} // +50% allocs
+	var out strings.Builder
+	failed := diff(&out, base, cur, 0.10, false)
+	// Both allocation axes (count and bytes) regressed by 50%.
+	if failed != 2 {
+		t.Fatalf("failed = %d, want 2\n%s", failed, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("missing regression mark:\n%s", out.String())
+	}
+}
+
+// TestDiffSkipsNewFigure: a figure present in the current report but
+// absent from the baseline has nothing to regress against — it must be
+// skipped with a notice, not failed, so a PR can land a new figure and
+// its baseline update in one change.
+func TestDiffSkipsNewFigure(t *testing.T) {
+	base := &report{Figures: []figure{fig("pdd", 10, 2_000_000)}}
+	cur := &report{Figures: []figure{fig("pdd", 10, 2_000_000), fig("stream", 5, 9_000_000)}}
+	var out strings.Builder
+	if failed := diff(&out, base, cur, 0.10, false); failed != 0 {
+		t.Fatalf("failed = %d, want 0\n%s", failed, out.String())
+	}
+	if !strings.Contains(out.String(), "stream") ||
+		!strings.Contains(out.String(), "new figure, no baseline — skipped") {
+		t.Fatalf("missing skip notice for new figure:\n%s", out.String())
+	}
+}
+
+func TestDiffNoticesDroppedFigure(t *testing.T) {
+	base := &report{Figures: []figure{fig("pdd", 10, 2_000_000), fig("crowd", 5, 2_000_000)}}
+	cur := &report{Figures: []figure{fig("pdd", 10, 2_000_000)}}
+	var out strings.Builder
+	// raw-wall: dropping a figure shifts every share, which is not what
+	// this test is about.
+	if failed := diff(&out, base, cur, 0.10, true); failed != 0 {
+		t.Fatalf("failed = %d, want 0\n%s", failed, out.String())
+	}
+	if !strings.Contains(out.String(), "crowd") ||
+		!strings.Contains(out.String(), "dropped from current report") {
+		t.Fatalf("missing dropped notice:\n%s", out.String())
+	}
+}
+
+// TestDiffWallShareNormalized: with share-of-suite normalization a
+// uniformly slower host does not regress; with -raw-wall it does.
+func TestDiffWallShareNormalized(t *testing.T) {
+	base := &report{Figures: []figure{fig("pdd", 10, 0), fig("pdr", 10, 0)}}
+	cur := &report{Figures: []figure{fig("pdd", 20, 0), fig("pdr", 20, 0)}} // 2x slower host
+	var out strings.Builder
+	if failed := diff(&out, base, cur, 0.10, false); failed != 0 {
+		t.Fatalf("normalized: failed = %d, want 0\n%s", failed, out.String())
+	}
+	out.Reset()
+	if failed := diff(&out, base, cur, 0.10, true); failed != 2 {
+		t.Fatalf("raw-wall: failed = %d, want 2\n%s", failed, out.String())
+	}
+}
+
+// TestDiffBelowNoiseFloor: tiny allocation counts and wall shares are
+// not compared at all.
+func TestDiffBelowNoiseFloor(t *testing.T) {
+	base := &report{Figures: []figure{fig("pdd", 100, 0), {Name: "tiny", WallSeconds: 0.01, Allocs: 10}}}
+	cur := &report{Figures: []figure{fig("pdd", 100, 0), {Name: "tiny", WallSeconds: 1, Allocs: 90}}}
+	var out strings.Builder
+	if failed := diff(&out, base, cur, 0.10, false); failed != 0 {
+		t.Fatalf("failed = %d, want 0\n%s", failed, out.String())
+	}
+	if strings.Contains(out.String(), "tiny") {
+		t.Fatalf("below-floor figure was compared:\n%s", out.String())
+	}
+}

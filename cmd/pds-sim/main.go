@@ -8,6 +8,9 @@
 //	pds-sim -mode mdr -size 5
 //	pds-sim -mode pdd -mobility student -scale 1.5
 //	pds-sim -nodes 10000 -deadline 1h
+//	pds-sim -workload stream:segs=16,segdur=4s,prefetch=3
+//	pds-sim -workload crowd:clients=24,arrival=step:10s/16 -burst-loss 0.3
+//	pds-sim -workload stream: -nodes 2000
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"pds/internal/scenario"
 	"pds/internal/trace"
 	"pds/internal/wire"
+	"pds/internal/workload"
 )
 
 func main() {
@@ -58,8 +62,47 @@ func run(args []string) error {
 	crash := fs.String("crash", "", "crash one node: <node>@<at>[+<downtime>] (shorthand for -fault-plan crash:...)")
 	burstLoss := fs.Float64("burst-loss", 0,
 		"Gilbert–Elliott burst channel from t=0 with this bad-state loss probability")
+	workloadSpec := fs.String("workload", "",
+		"workload spec, e.g. 'stream:segs=16,segdur=4s' or 'crowd:clients=24,arrival=step:10s/16' (see internal/workload.ParseSpec; overrides -mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *workloadSpec != "" {
+		wspec, err := workload.ParseSpec(*workloadSpec)
+		if err != nil {
+			return err
+		}
+		plan, err := assemblePlan(*faultPlan, *crash, *burstLoss, *seed)
+		if err != nil {
+			return err
+		}
+		var pp *fault.Plan
+		if len(plan.Events) > 0 {
+			pp = &plan
+		}
+		switch {
+		case *nodes > 0 && wspec.Kind == workload.Stream:
+			rep := scenario.CityStreamingRun(scenario.CityConfig{Nodes: *nodes}, wspec.Stream, *seed)
+			fmt.Println(rep.Row)
+			return nil
+		case *nodes > 0:
+			rep := scenario.CityCrowdRun(scenario.CityConfig{Nodes: *nodes}, wspec.Crowd, *seed)
+			fmt.Println(rep.Row)
+			return nil
+		case wspec.Kind == workload.Stream:
+			rep, tracer := scenario.StreamingRun(*seed, scenario.StreamRunConfig{
+				Spec: wspec.Stream, Plan: pp, Trace: *traceOut != "", TraceCap: *traceCap,
+			})
+			fmt.Println(rep.Row)
+			return writeTrace(tracer, *traceOut)
+		default:
+			rep, tracer := scenario.FlashCrowdRun(*seed, scenario.CrowdRunConfig{
+				Spec: wspec.Crowd, Plan: pp, Trace: *traceOut != "", TraceCap: *traceCap,
+			})
+			fmt.Println(rep.Row)
+			return writeTrace(tracer, *traceOut)
+		}
 	}
 
 	if *nodes > 0 {
@@ -122,23 +165,9 @@ func run(args []string) error {
 
 	// Assemble and install the fault plan. The consumer is pinned first
 	// so a plan cannot crash the measurement node out of the experiment.
-	spec := *faultPlan
-	if *crash != "" {
-		if spec != "" {
-			spec += ";"
-		}
-		spec += "crash:" + *crash
-	}
-	plan := fault.Plan{Seed: *seed}
-	if spec != "" {
-		parsed, err := fault.ParsePlan(spec)
-		if err != nil {
-			return err
-		}
-		plan.Events = parsed.Events
-	}
-	if *burstLoss > 0 {
-		plan.Events = append(plan.Events, fault.Event{Kind: fault.Burst, GE: fault.DefaultGE(*burstLoss)})
+	plan, err := assemblePlan(*faultPlan, *crash, *burstLoss, *seed)
+	if err != nil {
+		return err
 	}
 	var inj *fault.Injector
 	if len(plan.Events) > 0 {
@@ -210,21 +239,52 @@ func run(args []string) error {
 		fmt.Printf("faults: %s restarts=%d departures=%d burst-losses=%d dup-frames=%d\n",
 			fc, fsStats.Restarts, fsStats.Departures, fsStats.BurstLosses, rs.DupFrames)
 	}
-	if tracer != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
+	return writeTrace(tracer, *traceOut)
+}
+
+// assemblePlan combines the -fault-plan spec, the -crash shorthand and
+// the -burst-loss channel into one fault plan.
+func assemblePlan(faultPlan, crash string, burstLoss float64, seed int64) (fault.Plan, error) {
+	spec := faultPlan
+	if crash != "" {
+		if spec != "" {
+			spec += ";"
 		}
-		events := tracer.Events()
-		if err := trace.WriteJSONL(f, events); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("trace: %d events -> %s (dropped %d)\n",
-			len(events), *traceOut, tracer.Dropped())
+		spec += "crash:" + crash
 	}
+	plan := fault.Plan{Seed: seed}
+	if spec != "" {
+		parsed, err := fault.ParsePlan(spec)
+		if err != nil {
+			return plan, err
+		}
+		plan.Events = parsed.Events
+	}
+	if burstLoss > 0 {
+		plan.Events = append(plan.Events, fault.Event{Kind: fault.Burst, GE: fault.DefaultGE(burstLoss)})
+	}
+	return plan, nil
+}
+
+// writeTrace dumps a tracer's events as JSONL to path. A nil tracer or
+// empty path is a no-op.
+func writeTrace(tracer *trace.Tracer, path string) error {
+	if tracer == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events := tracer.Events()
+	if err := trace.WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d events -> %s (dropped %d)\n",
+		len(events), path, tracer.Dropped())
 	return nil
 }

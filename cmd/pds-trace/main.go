@@ -11,6 +11,7 @@
 //	pds-trace trace.jsonl               # one line per query root
 //	pds-trace -query 271 trace.jsonl    # one root in detail, with hops
 //	pds-sim -trace-out /dev/stdout -entries 500 | tail -n +1 | pds-trace -
+//	pds-sim -workload stream: -trace-out s.jsonl && pds-trace -playback s.jsonl
 package main
 
 import (
@@ -37,6 +38,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("pds-trace", flag.ContinueOnError)
 	queryID := fs.Uint64("query", 0, "print this query root in detail (0 = list all roots)")
 	tiers := fs.Bool("tiers", false, "print per-chunk tier attribution (tiered retrievals)")
+	playback := fs.Bool("playback", false, "print the workload plane: prefetches, stalls, deadline misses")
 	asJSON := fs.Bool("json", false, "emit the summaries as JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +83,10 @@ func run(args []string) error {
 
 	if *tiers {
 		return printTiers(a)
+	}
+
+	if *playback {
+		return printPlayback(a)
 	}
 
 	fmt.Printf("%d events, %d query roots", a.Events, len(a.Queries))
@@ -134,6 +140,42 @@ func printTiers(a *trace.Analysis) error {
 		return err
 	}
 	printTierSummary(a)
+	return nil
+}
+
+// printPlayback prints every workload-plane event — the prefetch,
+// stall and deadline-miss record of a streaming or flash-crowd session
+// — then the aggregate playback summary.
+func printPlayback(a *trace.Analysis) error {
+	if len(a.Playback) == 0 {
+		fmt.Println("no playback events in trace (no workload driver, or tracing was off)")
+		return nil
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "NODE\tEVENT\tSEG\tITEM\tAT\tDETAIL")
+	for _, pe := range a.Playback {
+		detail := ""
+		switch pe.Kind {
+		case trace.PrefetchIssued:
+			detail = fmt.Sprintf("in-flight %d", pe.Val)
+		case trace.Stall:
+			detail = "stalled " + fmtDur(time.Duration(pe.Val))
+		case trace.SegmentDeadlineMiss:
+			if pe.Val == 0 {
+				detail = "never arrived"
+			} else {
+				detail = "late by " + fmtDur(time.Duration(pe.Val))
+			}
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%s\t%s\n",
+			pe.Node, pe.Kind, pe.Index, pe.Item, fmtDur(pe.T), detail)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	s := a.PlaybackSummary
+	fmt.Printf("playback: %d prefetches, %d stalls (%s stalled), %d deadline misses\n",
+		s.Prefetches, s.Stalls, fmtDur(s.StallTime), s.DeadlineMisses)
 	return nil
 }
 

@@ -60,6 +60,9 @@ type retrieval struct {
 	total    int
 	cb       func(RetrievalResult)
 	progress func(done, total int)
+	// window is this session's request-window size (chunks requested
+	// but undelivered); 0 falls back to Config.OutstandingChunks.
+	window int
 
 	phase         int // 1 = CDI retrieval, 2 = chunk retrieval
 	rounds        int
@@ -111,6 +114,12 @@ type RetrieveOptions struct {
 	// Progress, if set, is invoked after every chunk arrival with
 	// (chunks held, total chunks).
 	Progress func(done, total int)
+	// OutstandingChunks overrides Config.OutstandingChunks for this
+	// session when positive. Workload drivers running several pipelined
+	// retrievals at once (streaming prefetch) shrink each session's
+	// request window so the aggregate in-flight load stays what one
+	// foreground retrieval would impose.
+	OutstandingChunks int
 }
 
 // RetrieveWithOptions is Retrieve with per-session options.
@@ -123,6 +132,7 @@ func (n *Node) RetrieveWithOptions(item attr.Descriptor, opts RetrieveOptions, c
 		total:       item.TotalChunks(),
 		cb:          cb,
 		progress:    opts.Progress,
+		window:      opts.OutstandingChunks,
 		start:       n.clk.Now(),
 		requestedAt: make(map[int]time.Duration),
 	}
@@ -156,6 +166,19 @@ func (n *Node) RetrieveWithOptions(item attr.Descriptor, opts RetrieveOptions, c
 	}
 	r.startCDIRound()
 	r.scheduleCheck()
+}
+
+// CancelRetrieve aborts the active retrieval session for the item, if
+// any, reporting its partial result through the session's callback. It
+// returns whether a session was cancelled. Streaming drivers use it to
+// abandon segments the playhead has irrecoverably passed.
+func (n *Node) CancelRetrieve(item attr.Descriptor) bool {
+	r, ok := n.retrievals[item.ItemDescriptor().Key()]
+	if !ok || r.done {
+		return false
+	}
+	r.finish(n.clk.Now())
+	return true
 }
 
 // missing returns the chunk ids not yet held locally, sorted.
@@ -317,7 +340,10 @@ func (r *retrieval) topUp(now time.Duration) {
 		return
 	}
 	n := r.n
-	window := n.cfg.OutstandingChunks
+	window := r.window
+	if window <= 0 {
+		window = n.cfg.OutstandingChunks
+	}
 	if window <= 0 {
 		window = 1 << 20 // unlimited: request everything at once
 	}

@@ -34,6 +34,85 @@ type Sample struct {
 	// nil for pure-P2P runs, which therefore render byte-identically
 	// to runs predating the deployment plane.
 	Tiers *TierCounters
+	// QoE carries the streaming/bulk workload quality measures; nil for
+	// one-shot discovery/retrieval runs, which therefore render
+	// byte-identically to runs predating the workload engine.
+	QoE *QoECounters
+}
+
+// QoECounters are the quality-of-experience measures of one workload
+// run: a streaming session's playback health (startup, stalls,
+// rebuffering), the pooled tail of its per-segment fetch latencies, and
+// the byte attribution across serving tiers. Bulk-artifact runs reuse
+// the same shape with stalls pinned at zero and layers standing in for
+// segments.
+type QoECounters struct {
+	// StartupDelay is the time from session start to first playback.
+	StartupDelay time.Duration `json:"startup_delay_ns"`
+	// Stalls counts rebuffer events; StallTime is their total length.
+	Stalls    uint64        `json:"stalls"`
+	StallTime time.Duration `json:"stall_time_ns"`
+	// RebufferRatio is StallTime / (StallTime + played time).
+	RebufferRatio float64 `json:"rebuffer_ratio"`
+	// P50/P95/P99 are percentiles of the pooled per-segment (or
+	// per-layer) fetch latencies.
+	P50, P95, P99 time.Duration `json:"-"`
+	// P50Sec..P99Sec are the JSON forms, kept in seconds like the
+	// report's latency_s fields.
+	P50Sec float64 `json:"p50_s"`
+	P95Sec float64 `json:"p95_s"`
+	P99Sec float64 `json:"p99_s"`
+	// DeadlineMisses counts segments that stalled playback or never
+	// arrived (layers that never completed, for bulk runs).
+	DeadlineMisses uint64 `json:"deadline_misses"`
+	// LocalBytes..OriginBytes attribute delivered payload bytes to the
+	// serving tier. Pure-P2P radio runs split local (already cached)
+	// from p2p; the deployment plane adds edge and origin.
+	LocalBytes  uint64 `json:"local_bytes"`
+	P2PBytes    uint64 `json:"p2p_bytes"`
+	EdgeBytes   uint64 `json:"edge_bytes"`
+	OriginBytes uint64 `json:"origin_bytes"`
+}
+
+// Any reports whether the workload path saw any activity.
+func (q QoECounters) Any() bool {
+	return q.StartupDelay > 0 || q.Stalls > 0 || q.StallTime > 0 ||
+		q.DeadlineMisses > 0 || q.P99 > 0 ||
+		q.LocalBytes > 0 || q.P2PBytes > 0 || q.EdgeBytes > 0 || q.OriginBytes > 0
+}
+
+// SyncSeconds refreshes the JSON second-valued percentile mirrors from
+// the duration fields.
+func (q *QoECounters) SyncSeconds() {
+	q.P50Sec = q.P50.Seconds()
+	q.P95Sec = q.P95.Seconds()
+	q.P99Sec = q.P99.Seconds()
+}
+
+// Add accumulates another counter set (used by Mean; percentile fields
+// sum here and are divided back into a mean-of-percentiles, the usual
+// cross-run aggregate).
+func (q *QoECounters) Add(o QoECounters) {
+	q.StartupDelay += o.StartupDelay
+	q.Stalls += o.Stalls
+	q.StallTime += o.StallTime
+	q.RebufferRatio += o.RebufferRatio
+	q.P50 += o.P50
+	q.P95 += o.P95
+	q.P99 += o.P99
+	q.DeadlineMisses += o.DeadlineMisses
+	q.LocalBytes += o.LocalBytes
+	q.P2PBytes += o.P2PBytes
+	q.EdgeBytes += o.EdgeBytes
+	q.OriginBytes += o.OriginBytes
+}
+
+// String renders the counters as a compact row suffix.
+func (q QoECounters) String() string {
+	return fmt.Sprintf("startup=%s stalls=%d stall=%s rebuf=%.4f p50=%s p95=%s p99=%s misses=%d local=%s p2p=%s edge=%s origin=%s",
+		Seconds(q.StartupDelay), q.Stalls, Seconds(q.StallTime), q.RebufferRatio,
+		Seconds(q.P50), Seconds(q.P95), Seconds(q.P99), q.DeadlineMisses,
+		MB(q.LocalBytes), MB(q.P2PBytes), MB(q.EdgeBytes), MB(q.OriginBytes))
 }
 
 // TierCounters attributes one run's retrieved chunks to the tiered
@@ -164,8 +243,10 @@ func Mean(samples []Sample) Sample {
 	var lat float64
 	var disk DiskCounters
 	var tiers TierCounters
+	var qoe QoECounters
 	diskRuns := uint64(0)
 	tierRuns := uint64(0)
+	qoeRuns := uint64(0)
 	for _, s := range samples {
 		out.Recall += s.Recall
 		lat += float64(s.Latency)
@@ -182,6 +263,10 @@ func Mean(samples []Sample) Sample {
 		if s.Tiers != nil {
 			tiers.Add(*s.Tiers)
 			tierRuns++
+		}
+		if s.QoE != nil {
+			qoe.Add(*s.QoE)
+			qoeRuns++
 		}
 	}
 	n := float64(len(samples))
@@ -215,6 +300,23 @@ func Mean(samples []Sample) Sample {
 		tiers.TrackerFailovers /= tierRuns
 		tiers.StaleTrackerServes /= tierRuns
 		out.Tiers = &tiers
+	}
+	if qoeRuns > 0 {
+		qd := time.Duration(qoeRuns)
+		qoe.StartupDelay /= qd
+		qoe.Stalls /= qoeRuns
+		qoe.StallTime /= qd
+		qoe.RebufferRatio /= float64(qoeRuns)
+		qoe.P50 /= qd
+		qoe.P95 /= qd
+		qoe.P99 /= qd
+		qoe.DeadlineMisses /= qoeRuns
+		qoe.LocalBytes /= qoeRuns
+		qoe.P2PBytes /= qoeRuns
+		qoe.EdgeBytes /= qoeRuns
+		qoe.OriginBytes /= qoeRuns
+		qoe.SyncSeconds()
+		out.QoE = &qoe
 	}
 	return out
 }
@@ -254,8 +356,14 @@ func (s *Series) String() string {
 		if label == "" {
 			label = fmt.Sprintf("%g", p.X)
 		}
-		fmt.Fprintf(&b, "  %-14s %8.3f %10s %12s %7.1f\n",
+		fmt.Fprintf(&b, "  %-14s %8.3f %10s %12s %7.1f",
 			label, p.Sample.Recall, Seconds(p.Sample.Latency), MB(p.Sample.OverheadBytes), p.Sample.Rounds)
+		if p.Sample.QoE != nil {
+			// QoE rows carry their workload suffix; pre-workload rows
+			// have a nil QoE and render exactly as they always did.
+			fmt.Fprintf(&b, "  %s", p.Sample.QoE)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -315,6 +423,55 @@ func Table(field string, series ...*Series) string {
 	}
 	return b.String()
 }
+
+// Pool accumulates individual samples (segment latencies, layer fetch
+// times) for percentile extraction — the aggregation QoE rows need
+// where Mean-of-runs is not enough.
+type Pool struct {
+	vals []float64
+}
+
+// Add appends one sample.
+func (p *Pool) Add(v float64) { p.vals = append(p.vals, v) }
+
+// AddDuration appends a duration sample in seconds.
+func (p *Pool) AddDuration(d time.Duration) { p.Add(d.Seconds()) }
+
+// Merge appends every sample of the other pool.
+func (p *Pool) Merge(o *Pool) {
+	if o != nil {
+		p.vals = append(p.vals, o.vals...)
+	}
+}
+
+// Len returns the number of pooled samples.
+func (p *Pool) Len() int { return len(p.vals) }
+
+// Mean returns the arithmetic mean (0 for an empty pool).
+func (p *Pool) Mean() float64 {
+	if len(p.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range p.vals {
+		sum += v
+	}
+	return sum / float64(len(p.vals))
+}
+
+// Percentile returns the q-quantile (0..1) over the pooled samples.
+func (p *Pool) Percentile(q float64) float64 { return Quantile(p.vals, q) }
+
+// PercentileDuration is Percentile for second-valued pools, returned as
+// a duration.
+func (p *Pool) PercentileDuration(q float64) time.Duration {
+	return time.Duration(p.Percentile(q) * float64(time.Second))
+}
+
+// P50, P95 and P99 are the standard latency tail cuts.
+func (p *Pool) P50() float64 { return p.Percentile(0.50) }
+func (p *Pool) P95() float64 { return p.Percentile(0.95) }
+func (p *Pool) P99() float64 { return p.Percentile(0.99) }
 
 // Quantile returns the q-quantile (0..1) of the values, interpolating
 // linearly; it is used by prototype-style latency summaries.

@@ -97,3 +97,119 @@ func TestQuantile(t *testing.T) {
 		t.Fatal("Quantile sorted the input in place")
 	}
 }
+
+func TestPoolPercentiles(t *testing.T) {
+	var p Pool
+	if p.Percentile(0.5) != 0 || p.Mean() != 0 {
+		t.Fatalf("empty pool should yield zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		p.Add(float64(i))
+	}
+	if p.Len() != 100 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if got := p.P50(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := p.P95(); math.Abs(got-95.05) > 1e-9 {
+		t.Fatalf("P95 = %v", got)
+	}
+	if got := p.P99(); math.Abs(got-99.01) > 1e-9 {
+		t.Fatalf("P99 = %v", got)
+	}
+	if got := p.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	var q Pool
+	q.AddDuration(2 * time.Second)
+	q.Merge(&p)
+	if q.Len() != 101 {
+		t.Fatalf("merged Len = %d", q.Len())
+	}
+	if got := q.PercentileDuration(0); got != 1*time.Second {
+		t.Fatalf("PercentileDuration(0) = %v", got)
+	}
+}
+
+func TestPoolPercentileUnsorted(t *testing.T) {
+	var p Pool
+	for _, v := range []float64{9, 1, 5, 3, 7} {
+		p.Add(v)
+	}
+	if got := p.P50(); got != 5 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := p.Percentile(1); got != 9 {
+		t.Fatalf("P100 = %v", got)
+	}
+}
+
+func TestMeanQoE(t *testing.T) {
+	// QoE-free samples keep the pointer nil so pre-workload rows render
+	// byte-identically.
+	if got := Mean([]Sample{{Recall: 1}}); got.QoE != nil {
+		t.Fatalf("QoE should stay nil without QoE samples")
+	}
+	got := Mean([]Sample{
+		{QoE: &QoECounters{
+			StartupDelay: 2 * time.Second, Stalls: 2, StallTime: 4 * time.Second,
+			RebufferRatio: 0.2, P50: time.Second, P95: 2 * time.Second, P99: 4 * time.Second,
+			DeadlineMisses: 2, LocalBytes: 100, P2PBytes: 300,
+		}},
+		{QoE: &QoECounters{
+			StartupDelay: 4 * time.Second, Stalls: 4, StallTime: 8 * time.Second,
+			RebufferRatio: 0.4, P50: 3 * time.Second, P95: 4 * time.Second, P99: 8 * time.Second,
+			DeadlineMisses: 4, LocalBytes: 300, P2PBytes: 500,
+		}},
+		{Recall: 1}, // no QoE: must not dilute the QoE average
+	})
+	q := got.QoE
+	if q == nil {
+		t.Fatalf("QoE nil after QoE samples")
+	}
+	if q.StartupDelay != 3*time.Second || q.Stalls != 3 || q.StallTime != 6*time.Second {
+		t.Fatalf("startup/stalls = %+v", q)
+	}
+	if math.Abs(q.RebufferRatio-0.3) > 1e-9 {
+		t.Fatalf("RebufferRatio = %v", q.RebufferRatio)
+	}
+	if q.P50 != 2*time.Second || q.P95 != 3*time.Second || q.P99 != 6*time.Second {
+		t.Fatalf("percentiles = %+v", q)
+	}
+	if q.DeadlineMisses != 3 || q.LocalBytes != 200 || q.P2PBytes != 400 {
+		t.Fatalf("misses/bytes = %+v", q)
+	}
+	if q.P99Sec != 6 {
+		t.Fatalf("P99Sec not synced: %v", q.P99Sec)
+	}
+}
+
+func TestSeriesStringQoESuffix(t *testing.T) {
+	s := &Series{Name: "qoe"}
+	s.Add(1, "clean", Sample{Recall: 1, QoE: &QoECounters{
+		StartupDelay: 1500 * time.Millisecond, Stalls: 1, StallTime: 2 * time.Second,
+		RebufferRatio: 0.25, P99: 3 * time.Second, P2PBytes: 1e6,
+	}})
+	out := s.String()
+	for _, want := range []string{"startup=1.5s", "stalls=1", "rebuf=0.2500", "p99=3.0s", "p2p=1.00MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("QoE suffix missing %q:\n%s", want, out)
+		}
+	}
+	// A QoE-free series must render exactly as before the suffix existed.
+	plain := &Series{Name: "plain"}
+	plain.Add(1, "x", Sample{Recall: 0.5})
+	if strings.Contains(plain.String(), "startup=") {
+		t.Fatalf("plain series grew a QoE suffix:\n%s", plain.String())
+	}
+}
+
+func TestQoECountersAny(t *testing.T) {
+	if (QoECounters{}).Any() {
+		t.Fatalf("zero QoE should not be Any")
+	}
+	if !(QoECounters{Stalls: 1}).Any() || !(QoECounters{P2PBytes: 1}).Any() {
+		t.Fatalf("non-zero QoE should be Any")
+	}
+}

@@ -24,8 +24,10 @@ type Waypoint struct {
 	Width, Height float64
 	// SpeedMin, SpeedMax bound each leg's walking speed in m/s.
 	SpeedMin, SpeedMax float64
-	// PauseMax bounds the uniform random pause at each waypoint.
-	PauseMax time.Duration
+	// PauseMin, PauseMax bound the uniform random pause at each
+	// waypoint. PauseMin defaults to zero, which reproduces the
+	// historical draw exactly (same RNG consumption, same values).
+	PauseMin, PauseMax time.Duration
 	// FirstID is the node id of index 0.
 	FirstID wire.NodeID
 
@@ -36,22 +38,43 @@ type Waypoint struct {
 	rng   *rand.Rand
 }
 
+// WaypointConfig parametrizes a Waypoint population. The zero value of
+// every optional field (PauseMin in particular) reproduces the
+// historical model.
+type WaypointConfig struct {
+	N                  int
+	Width, Height      float64
+	SpeedMin, SpeedMax float64
+	PauseMin, PauseMax time.Duration
+	FirstID            wire.NodeID
+}
+
 // NewWaypoint places n nodes uniformly in the area and draws their
 // first legs from rng. rng is retained and must not be shared with
 // other consumers mid-run.
 func NewWaypoint(n int, width, height, speedMin, speedMax float64, pauseMax time.Duration, firstID wire.NodeID, rng *rand.Rand) *Waypoint {
-	w := &Waypoint{
-		Width: width, Height: height,
+	return NewWaypointFromConfig(WaypointConfig{
+		N: n, Width: width, Height: height,
 		SpeedMin: speedMin, SpeedMax: speedMax,
-		PauseMax: pauseMax,
-		FirstID:  firstID,
-		pos:      make([]radio.Pos, n),
-		dst:      make([]radio.Pos, n),
-		speed:    make([]float64, n),
-		pause:    make([]time.Duration, n),
-		rng:      rng,
+		PauseMax: pauseMax, FirstID: firstID,
+	}, rng)
+}
+
+// NewWaypointFromConfig is NewWaypoint with the full config surface
+// (notably PauseMin, which must be set before the first legs draw).
+func NewWaypointFromConfig(cfg WaypointConfig, rng *rand.Rand) *Waypoint {
+	w := &Waypoint{
+		Width: cfg.Width, Height: cfg.Height,
+		SpeedMin: cfg.SpeedMin, SpeedMax: cfg.SpeedMax,
+		PauseMin: cfg.PauseMin, PauseMax: cfg.PauseMax,
+		FirstID: cfg.FirstID,
+		pos:     make([]radio.Pos, cfg.N),
+		dst:     make([]radio.Pos, cfg.N),
+		speed:   make([]float64, cfg.N),
+		pause:   make([]time.Duration, cfg.N),
+		rng:     rng,
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < cfg.N; i++ {
 		w.pos[i] = w.point()
 		w.newLeg(i)
 	}
@@ -66,7 +89,15 @@ func (w *Waypoint) newLeg(i int) {
 	w.dst[i] = w.point()
 	w.speed[i] = w.SpeedMin + w.rng.Float64()*(w.SpeedMax-w.SpeedMin)
 	if w.PauseMax > 0 {
-		w.pause[i] = time.Duration(w.rng.Int63n(int64(w.PauseMax)))
+		// One Int63n draw over the [PauseMin, PauseMax) span: with
+		// PauseMin == 0 this consumes and produces exactly what the
+		// pre-PauseMin model did, keeping seeded runs byte-identical.
+		span := int64(w.PauseMax - w.PauseMin)
+		if span > 0 {
+			w.pause[i] = w.PauseMin + time.Duration(w.rng.Int63n(span))
+		} else {
+			w.pause[i] = w.PauseMin
+		}
 	}
 }
 

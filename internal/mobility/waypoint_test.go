@@ -1,0 +1,106 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pds/internal/radio"
+)
+
+func stepAll(w *Waypoint, steps int, dt time.Duration) []radio.Move {
+	var moves []radio.Move
+	for s := 0; s < steps; s++ {
+		moves = w.Step(dt, moves[:0])
+	}
+	return moves
+}
+
+// TestWaypointPauseMinZeroMatchesLegacy pins the PauseMin regression
+// contract: a zero PauseMin consumes the RNG exactly as the
+// pre-PauseMin model did, so seeded runs stay byte-identical whether
+// they go through NewWaypoint or a zero-PauseMin config.
+func TestWaypointPauseMinZeroMatchesLegacy(t *testing.T) {
+	old := NewWaypoint(40, 500, 500, 1, 3, 20*time.Second, 1, rand.New(rand.NewSource(7)))
+	cfg := NewWaypointFromConfig(WaypointConfig{
+		N: 40, Width: 500, Height: 500,
+		SpeedMin: 1, SpeedMax: 3,
+		PauseMax: 20 * time.Second, FirstID: 1,
+	}, rand.New(rand.NewSource(7)))
+
+	for s := 0; s < 200; s++ {
+		a := old.Step(time.Second, nil)
+		b := cfg.Step(time.Second, nil)
+		if len(a) != len(b) {
+			t.Fatalf("step %d: %d vs %d moves", s, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("step %d move %d: %+v vs %+v", s, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestWaypointPauseMinBounds checks that every drawn pause lands in
+// [PauseMin, PauseMax).
+func TestWaypointPauseMinBounds(t *testing.T) {
+	lo, hi := 5*time.Second, 8*time.Second
+	w := NewWaypointFromConfig(WaypointConfig{
+		N: 30, Width: 100, Height: 100,
+		SpeedMin: 10, SpeedMax: 20, // fast legs: many waypoint arrivals
+		PauseMin: lo, PauseMax: hi, FirstID: 1,
+	}, rand.New(rand.NewSource(11)))
+	for i, p := range w.pause {
+		if p < lo || p >= hi {
+			t.Fatalf("initial pause[%d] = %v outside [%v, %v)", i, p, lo, hi)
+		}
+	}
+	// Drain pauses and trigger fresh legs; re-check the draws.
+	stepAll(w, 600, time.Second)
+	for i, p := range w.pause {
+		if p >= hi {
+			t.Fatalf("pause[%d] = %v >= %v after stepping", i, p, hi)
+		}
+	}
+}
+
+// TestWaypointPauseEqualBounds: PauseMin == PauseMax pins the pause
+// without consuming RNG for it.
+func TestWaypointPauseEqualBounds(t *testing.T) {
+	w := NewWaypointFromConfig(WaypointConfig{
+		N: 5, Width: 100, Height: 100,
+		SpeedMin: 1, SpeedMax: 2,
+		PauseMin: 3 * time.Second, PauseMax: 3 * time.Second, FirstID: 1,
+	}, rand.New(rand.NewSource(3)))
+	for i, p := range w.pause {
+		if p != 3*time.Second {
+			t.Fatalf("pause[%d] = %v, want 3s", i, p)
+		}
+	}
+}
+
+// TestWaypointSameSeedDeterministic: identical configs and seeds yield
+// identical trajectories.
+func TestWaypointSameSeedDeterministic(t *testing.T) {
+	mk := func() *Waypoint {
+		return NewWaypointFromConfig(WaypointConfig{
+			N: 25, Width: 300, Height: 300,
+			SpeedMin: 1, SpeedMax: 4,
+			PauseMin: 2 * time.Second, PauseMax: 10 * time.Second, FirstID: 1,
+		}, rand.New(rand.NewSource(42)))
+	}
+	a, b := mk(), mk()
+	for s := 0; s < 300; s++ {
+		ma := a.Step(time.Second, nil)
+		mb := b.Step(time.Second, nil)
+		if len(ma) != len(mb) {
+			t.Fatalf("step %d: move counts differ", s)
+		}
+		for i := range ma {
+			if ma[i] != mb[i] {
+				t.Fatalf("step %d move %d differs", s, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package qoe models streaming quality of experience: an online
+// playback state machine that converts segment-arrival times into the
+// measures viewers feel — startup delay, stall (rebuffer) events and
+// the rebuffer ratio — plus pooled per-segment latencies for tail
+// percentiles.
+//
+// The model is the standard HLS player abstraction: segments play in
+// index order at a fixed duration each; playback begins the moment
+// segment 0 is ready; whenever the next segment is not ready by the
+// time its predecessor finishes, the player stalls until it arrives.
+// Everything is pure arithmetic on the caller's clock readings — the
+// package never reads a clock or an RNG itself, so it is deterministic
+// by construction and safe inside the simulation core.
+package qoe
+
+import (
+	"time"
+
+	"pds/internal/metrics"
+)
+
+// Stall is one rebuffer event: playback halted for Duration waiting for
+// segment Segment, which arrived At.
+type Stall struct {
+	Segment  int
+	At       time.Duration
+	Duration time.Duration
+}
+
+// Playback is an online playback session over a fixed segment plan.
+type Playback struct {
+	segDur time.Duration
+	total  int
+
+	start   time.Duration // session start (viewer pressed play)
+	readyAt []time.Duration
+	ready   []bool
+	next    int // next segment index to commit to the play-out buffer
+
+	started bool
+	startup time.Duration
+	// pos is the clock time at which the player finishes everything
+	// committed so far; committing segment k late (ready > pos) stalls
+	// playback for the difference.
+	pos        time.Duration
+	stalls     []Stall
+	stallTime  time.Duration
+	playedSegs int
+}
+
+// NewPlayback starts a session of total segments of segDur each, with
+// the viewer pressing play at start.
+func NewPlayback(total int, segDur, start time.Duration) *Playback {
+	return &Playback{
+		segDur:  segDur,
+		total:   total,
+		start:   start,
+		readyAt: make([]time.Duration, total),
+		ready:   make([]bool, total),
+		next:    0,
+	}
+}
+
+// SegmentReady records that segment seg was fully retrieved at time at,
+// and advances the playback head as far as the buffered segments allow.
+// It returns the stalls this delivery resolved (playback resuming after
+// waiting for a late segment) — at most one per call in practice, but
+// returned as a slice so the caller can attribute each to its segment.
+// Out-of-range and duplicate segments are ignored.
+func (p *Playback) SegmentReady(seg int, at time.Duration) []Stall {
+	if seg < 0 || seg >= p.total || p.ready[seg] {
+		return nil
+	}
+	p.ready[seg] = true
+	p.readyAt[seg] = at
+	var resolved []Stall
+	for p.next < p.total && p.ready[p.next] {
+		r := p.readyAt[p.next]
+		if !p.started {
+			p.started = true
+			p.startup = r - p.start
+			p.pos = r + p.segDur
+		} else if r > p.pos {
+			s := Stall{Segment: p.next, At: r, Duration: r - p.pos}
+			p.stalls = append(p.stalls, s)
+			p.stallTime += s.Duration
+			resolved = append(resolved, s)
+			p.pos = r + p.segDur
+		} else {
+			p.pos += p.segDur
+		}
+		p.playedSegs++
+		p.next++
+	}
+	return resolved
+}
+
+// Started reports whether playback has begun (segment 0 committed).
+func (p *Playback) Started() bool { return p.started }
+
+// Committed returns how many segments have been committed to playback.
+func (p *Playback) Committed() int { return p.next }
+
+// Report is the finalized session summary.
+type Report struct {
+	// StartupDelay is the wait from play-press to first frame; zero if
+	// playback never started.
+	StartupDelay time.Duration
+	// Stalls are the rebuffer events in playback order.
+	Stalls []Stall
+	// StallTime is the total rebuffering time, including the tail wait
+	// on segments that never arrived (charged at Finalize).
+	StallTime time.Duration
+	// PlayedTime is segment duration times segments actually played.
+	PlayedTime time.Duration
+	// RebufferRatio is StallTime / (StallTime + PlayedTime); 1 when
+	// nothing ever played but the viewer waited.
+	RebufferRatio float64
+	// SegmentsPlayed and SegmentsMissed partition the plan: missed
+	// segments were never committed by the end of the session.
+	SegmentsPlayed int
+	SegmentsMissed int
+}
+
+// Finalize closes the session at time end and computes the report. The
+// tail wait — playback head parked at pos (or never started) while
+// undelivered segments remain — counts as stall time up to end, the way
+// a viewer staring at a spinner counts it.
+func (p *Playback) Finalize(end time.Duration) Report {
+	rep := Report{
+		StartupDelay:   p.startup,
+		Stalls:         p.stalls,
+		StallTime:      p.stallTime,
+		PlayedTime:     time.Duration(p.playedSegs) * p.segDur,
+		SegmentsPlayed: p.playedSegs,
+		SegmentsMissed: p.total - p.playedSegs,
+	}
+	if p.next < p.total {
+		// Undelivered tail: the viewer waited from the end of committed
+		// playback (or from the start, if nothing ever played) to end.
+		from := p.start
+		if p.started {
+			from = p.pos
+		}
+		if end > from {
+			rep.StallTime += end - from
+		}
+	}
+	denom := rep.StallTime + rep.PlayedTime
+	if denom > 0 {
+		rep.RebufferRatio = float64(rep.StallTime) / float64(denom)
+	}
+	return rep
+}
+
+// Counters reduces the report plus a latency pool into the metrics row
+// form. The caller supplies per-tier byte attribution separately.
+func (r Report) Counters(lat *metrics.Pool) metrics.QoECounters {
+	q := metrics.QoECounters{
+		StartupDelay:   r.StartupDelay,
+		Stalls:         uint64(len(r.Stalls)),
+		StallTime:      r.StallTime,
+		RebufferRatio:  r.RebufferRatio,
+		DeadlineMisses: uint64(len(r.Stalls) + r.SegmentsMissed),
+	}
+	if lat != nil && lat.Len() > 0 {
+		q.P50 = lat.PercentileDuration(0.50)
+		q.P95 = lat.PercentileDuration(0.95)
+		q.P99 = lat.PercentileDuration(0.99)
+	}
+	q.SyncSeconds()
+	return q
+}

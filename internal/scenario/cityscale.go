@@ -29,7 +29,9 @@ type CityConfig struct {
 	// SpeedMin, SpeedMax bound waypoint walking speeds in m/s
 	// (defaults 0.5 and 1.5 — pedestrian).
 	SpeedMin, SpeedMax float64
-	// PauseMax bounds the pause at each waypoint (default 30s).
+	// PauseMin, PauseMax bound the pause at each waypoint (defaults 0
+	// and 30s; zero PauseMin reproduces pre-PauseMin runs exactly).
+	PauseMin time.Duration
 	PauseMax time.Duration
 	// StepInterval is the mobility batch period: every interval one
 	// engine event advances the whole population and feeds the radio
@@ -114,9 +116,11 @@ func CityScale(cfg CityConfig, opts Options) (*Deployment, *mobility.Waypoint) {
 	cfg = cfg.withDefaults()
 	d := New(opts)
 	side := cfg.Side()
-	wp := mobility.NewWaypoint(cfg.Nodes, side, side,
-		cfg.SpeedMin, cfg.SpeedMax, cfg.PauseMax, 1,
-		rand.New(rand.NewSource(d.seed+21)))
+	wp := mobility.NewWaypointFromConfig(mobility.WaypointConfig{
+		N: cfg.Nodes, Width: side, Height: side,
+		SpeedMin: cfg.SpeedMin, SpeedMax: cfg.SpeedMax,
+		PauseMin: cfg.PauseMin, PauseMax: cfg.PauseMax, FirstID: 1,
+	}, rand.New(rand.NewSource(d.seed+21)))
 	for i, pos := range wp.Positions() {
 		d.AddPeer(wp.ID(i), pos)
 	}

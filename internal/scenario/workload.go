@@ -1,0 +1,360 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"pds/internal/attr"
+	"pds/internal/fault"
+	"pds/internal/metrics"
+	"pds/internal/radio"
+	"pds/internal/trace"
+	"pds/internal/wire"
+	"pds/internal/workload"
+)
+
+// This file wires the workload engine (internal/workload) onto the
+// simulated deployments: streaming and flash-crowd runs on the paper's
+// 10×10 grid, a streaming run on the city-scale core, and the series
+// behind `pds-bench stream` / `pds-bench crowd`. Same-seed runs emit
+// byte-identical rows, QoE counters included.
+
+// StreamRunConfig configures one StreamingRun.
+type StreamRunConfig struct {
+	// Spec is the streaming workload; zero fields take the grammar's
+	// defaults (8 × 6s × 512KB segments, prefetch 2, live timeline).
+	Spec workload.StreamSpec
+	// Plan, when set, installs a fault plan before the session starts.
+	Plan *fault.Plan
+	// Trace attaches an event tracer (TraceCap bounds per-node rings).
+	Trace    bool
+	TraceCap int
+}
+
+// StreamReport is one finished streaming run.
+type StreamReport struct {
+	// Result is the workload driver's session account.
+	Result workload.StreamResult
+	// Done reports every segment retrieval resolved before the budget.
+	Done bool
+	// Sample is the run reduced to the standard metrics row, QoE set.
+	Sample metrics.Sample
+	// Row is the deterministic one-line summary.
+	Row string
+}
+
+// streamDefaults fills a StreamSpec through the spec grammar's default
+// table.
+func streamDefaults(spec workload.StreamSpec) workload.StreamSpec {
+	return (workload.Spec{Kind: workload.Stream, Stream: spec}).WithDefaults().Stream
+}
+
+// crowdDefaults fills a CrowdSpec through the spec grammar's default
+// table.
+func crowdDefaults(spec workload.CrowdSpec) workload.CrowdSpec {
+	return (workload.Spec{Kind: workload.Crowd, Crowd: spec}).WithDefaults().Crowd
+}
+
+// streamBudget bounds a streaming session: the producer timeline plus a
+// retrieval tail.
+func streamBudget(spec workload.StreamSpec) time.Duration {
+	return time.Duration(spec.Segments)*spec.SegmentDuration + 2*time.Minute
+}
+
+// crowdBudget bounds a flash-crowd run: the arrival horizon plus a
+// retrieval tail.
+func crowdBudget(spec workload.CrowdSpec) time.Duration {
+	horizon := spec.Arrival.At
+	if spec.Arrival.Kind == workload.Poisson {
+		horizon = spec.Arrival.Mean * time.Duration(spec.Clients)
+	}
+	return horizon + 4*time.Minute
+}
+
+// streamReport reduces a finished streaming session to a StreamReport.
+func (d *Deployment) streamReport(kind string, spec workload.StreamSpec, res workload.StreamResult, done bool) StreamReport {
+	recall := safeDiv(float64(res.SegmentsComplete), float64(spec.Segments))
+	tx := d.Medium.Stats().TxBytes
+	q := res.QoE
+	sample := metrics.Sample{
+		Recall:        recall,
+		Latency:       res.MeanLatency,
+		OverheadBytes: tx,
+		Rounds:        res.Rounds,
+		QoE:           &q,
+	}
+	row := fmt.Sprintf("%s seed=%d recall=%.4f latency=%s overhead=%s rounds=%.1f done=%v  %s",
+		kind, d.seed, recall, metrics.Seconds(res.MeanLatency), metrics.MB(tx),
+		res.Rounds, done, q.String())
+	return StreamReport{Result: res, Done: done, Sample: sample, Row: row}
+}
+
+// StreamingRun plays one HLS-style session on the paper's 10×10 grid:
+// the corner node (id 1) produces segments on its live timeline (or all
+// at once for VOD), the center node consumes them through the workload
+// driver's prefetch pipeline, and the playback model charges startup
+// delay and stalls. The returned tracer is non-nil iff cfg.Trace.
+func StreamingRun(seed int64, cfg StreamRunConfig) (StreamReport, *trace.Tracer) {
+	spec := streamDefaults(cfg.Spec)
+	budget := streamBudget(spec)
+	d := Grid(10, 10, GridSpacing, Options{Seed: seed, Core: chaosConfig(0)})
+	consumer := CenterID(10, 10)
+	d.Pin(consumer)
+	producer := wire.NodeID(1)
+	if cfg.Plan != nil {
+		d.InstallFaults(*cfg.Plan)
+	}
+	var (
+		tr *trace.Tracer
+		nt *trace.NodeTracer
+	)
+	if cfg.Trace {
+		tr = d.EnableTracing(cfg.TraceCap)
+		nt = tr.ForNode(consumer)
+	}
+	pub := func(item attr.Descriptor, c int, payload []byte) {
+		d.Peers[producer].Node.PublishChunk(item, c, payload)
+	}
+	sess := workload.StartStream(d.Eng, spec, pub, d.Peers[consumer].Node, nt, "stream", budget)
+	d.Eng.RunUntil(budget+time.Second, sess.Done)
+	return d.streamReport("streaming", spec, sess.Result(), sess.Done()), tr
+}
+
+// CrowdRunConfig configures one FlashCrowdRun.
+type CrowdRunConfig struct {
+	// Spec is the crowd workload; zero fields take the grammar's
+	// defaults (3 artifacts × 3 layers × 768KB, 12 clients, Poisson).
+	Spec workload.CrowdSpec
+	// Plan, when set, installs a fault plan before clients arrive.
+	Plan *fault.Plan
+	// Trace attaches an event tracer (TraceCap bounds per-node rings).
+	Trace    bool
+	TraceCap int
+}
+
+// CrowdReport is one finished flash-crowd run.
+type CrowdReport struct {
+	// Result is the workload driver's run account.
+	Result workload.CrowdResult
+	// Done reports every client's every layer resolved in budget.
+	Done bool
+	// Sample is the run reduced to the standard metrics row, QoE set.
+	Sample metrics.Sample
+	// Row is the deterministic one-line summary.
+	Row string
+}
+
+// FlashCrowdRun distributes a layered-artifact catalog on the paper's
+// 10×10 grid: the corner node (id 1) holds the catalog, and the spec's
+// clients — spread evenly over the remaining grid — arrive per the
+// arrival process, each pulling a Zipf-popular artifact's layers. The
+// returned tracer is non-nil iff cfg.Trace.
+func FlashCrowdRun(seed int64, cfg CrowdRunConfig) (CrowdReport, *trace.Tracer) {
+	spec := crowdDefaults(cfg.Spec)
+	d := Grid(10, 10, GridSpacing, Options{Seed: seed, Core: chaosConfig(0)})
+	producer := wire.NodeID(1)
+	// One retrieval session per (node, item) key: duplicate client nodes
+	// would collide on the shared base layer, so the grid caps clients.
+	if spec.Clients > len(d.Peers)-1 {
+		spec.Clients = len(d.Peers) - 1
+		if spec.Arrival.Count > spec.Clients {
+			spec.Arrival.Count = spec.Clients
+		}
+	}
+	budget := crowdBudget(spec)
+	if cfg.Plan != nil {
+		d.InstallFaults(*cfg.Plan)
+	}
+	var tr *trace.Tracer
+	if cfg.Trace {
+		tr = d.EnableTracing(cfg.TraceCap)
+	}
+	cat := workload.BuildCatalog("crowd", spec)
+	workload.PublishCatalog(cat, spec, func(item attr.Descriptor, c int, payload []byte) {
+		d.Peers[producer].Node.PublishChunk(item, c, payload)
+	})
+	clients := make([]workload.CrowdClient, spec.Clients)
+	n := len(d.Peers)
+	for i := range clients {
+		id := wire.NodeID(2 + i*(n-1)/spec.Clients)
+		d.Pin(id)
+		clients[i] = workload.CrowdClient{R: d.Peers[id].Node}
+		if tr != nil {
+			clients[i].Tracer = tr.ForNode(id)
+		}
+	}
+	sess := workload.StartCrowd(d.Eng, spec, cat, clients, newRand(seed+33), budget)
+	d.Eng.RunUntil(budget+time.Second, sess.Done)
+	return d.crowdReport("flash-crowd", spec.Clients, sess.Result(), sess.Done()), tr
+}
+
+// crowdReport reduces a finished crowd session to a CrowdReport.
+func (d *Deployment) crowdReport(kind string, clients int, res workload.CrowdResult, done bool) CrowdReport {
+	recall := safeDiv(float64(res.LayersComplete), float64(res.LayersTotal))
+	tx := d.Medium.Stats().TxBytes
+	q := res.QoE
+	sample := metrics.Sample{
+		Recall:        recall,
+		Latency:       res.MeanCompletion,
+		OverheadBytes: tx,
+		Rounds:        res.Rounds,
+		QoE:           &q,
+	}
+	row := fmt.Sprintf("%s seed=%d recall=%.4f latency=%s overhead=%s rounds=%.1f done=%v clients=%d/%d  %s",
+		kind, d.seed, recall, metrics.Seconds(res.MeanCompletion), metrics.MB(tx),
+		res.Rounds, done, res.ClientsComplete, clients, q.String())
+	return CrowdReport{Result: res, Done: done, Sample: sample, Row: row}
+}
+
+// CityStreamingRun plays one streaming session on the city-scale core:
+// node 1 consumes, and each segment is published at the three nodes
+// currently nearest the consumer (an edge producer following its
+// audience), while the whole population keeps moving under the waypoint
+// model.
+func CityStreamingRun(cfg CityConfig, spec workload.StreamSpec, seed int64) StreamReport {
+	spec = streamDefaults(spec)
+	budget := streamBudget(spec)
+	d, wp := CityScale(cfg, Options{Seed: seed})
+	consumer := wp.ID(0)
+	pos := wp.Positions()
+	pub := func(item attr.Descriptor, c int, payload []byte) {
+		for _, idx := range nearestIndices(pos, 0, 3) {
+			d.Peers[wp.ID(idx)].Node.PublishChunk(item, c, payload)
+		}
+	}
+	sess := workload.StartStream(d.Eng, spec, pub, d.Peers[consumer].Node, nil, "city-stream", budget)
+	d.Eng.RunUntil(budget+time.Second, sess.Done)
+	return d.streamReport("city-streaming", spec, sess.Result(), sess.Done())
+}
+
+// CityCrowdRun distributes a layered-artifact catalog on the city-scale
+// core: the catalog is seeded at the three nodes nearest node 0's
+// starting position (an edge cache), and the spec's clients — spread
+// evenly over the rest of the population — arrive per the arrival
+// process while everyone keeps moving under the waypoint model.
+func CityCrowdRun(cfg CityConfig, spec workload.CrowdSpec, seed int64) CrowdReport {
+	spec = crowdDefaults(spec)
+	d, wp := CityScale(cfg, Options{Seed: seed})
+	n := cfg.Nodes
+	if spec.Clients > n-1 {
+		spec.Clients = n - 1
+		if spec.Arrival.Count > spec.Clients {
+			spec.Arrival.Count = spec.Clients
+		}
+	}
+	budget := crowdBudget(spec)
+	pos := wp.Positions()
+	cat := workload.BuildCatalog("city-crowd", spec)
+	workload.PublishCatalog(cat, spec, func(item attr.Descriptor, c int, payload []byte) {
+		for _, idx := range nearestIndices(pos, 0, 3) {
+			d.Peers[wp.ID(idx)].Node.PublishChunk(item, c, payload)
+		}
+	})
+	clients := make([]workload.CrowdClient, spec.Clients)
+	for i := range clients {
+		idx := 1 + i*(n-1)/spec.Clients
+		clients[i] = workload.CrowdClient{R: d.Peers[wp.ID(idx)].Node}
+	}
+	sess := workload.StartCrowd(d.Eng, spec, cat, clients, newRand(seed+33), budget)
+	d.Eng.RunUntil(budget+time.Second, sess.Done)
+	return d.crowdReport("city-crowd", spec.Clients, sess.Result(), sess.Done())
+}
+
+// nearestIndices returns the k position indices closest to index to
+// (excluding it), in ascending-distance order; ties break on index, so
+// the pick is deterministic.
+func nearestIndices(pos []radio.Pos, to, k int) []int {
+	type cand struct {
+		idx int
+		d2  float64
+	}
+	best := make([]cand, 0, k)
+	for i := range pos {
+		if i == to {
+			continue
+		}
+		dx, dy := pos[i].X-pos[to].X, pos[i].Y-pos[to].Y
+		d2 := dx*dx + dy*dy
+		j := len(best)
+		for j > 0 && best[j-1].d2 > d2 {
+			j--
+		}
+		if j < k {
+			if len(best) < k {
+				best = append(best, cand{})
+			}
+			copy(best[j+1:], best[j:])
+			best[j] = cand{idx: i, d2: d2}
+		}
+	}
+	out := make([]int, len(best))
+	for i, b := range best {
+		out[i] = b.idx
+	}
+	return out
+}
+
+// lossyStreamPlan is the burst channel the lossy streaming variants run
+// under: Gilbert–Elliott with p_bad = 0.3 from t = 2s on.
+func lossyStreamPlan(seed int64) *fault.Plan {
+	return &fault.Plan{Seed: seed, Events: []fault.Event{
+		{At: 2 * time.Second, Kind: fault.Burst, GE: fault.DefaultGE(0.3)},
+	}}
+}
+
+// StreamSeries is the `pds-bench stream` figure: streaming QoE versus
+// prefetch depth K ∈ {1, 2, 4}, on a clean channel and under the lossy
+// burst plan. X is the prefetch depth.
+func StreamSeries(seed int64, runs int) *metrics.Series {
+	s := &metrics.Series{Name: "streaming QoE vs prefetch"}
+	variants := []struct {
+		label    string
+		prefetch int
+		lossy    bool
+	}{
+		{"clean-k1", 1, false},
+		{"clean-k2", 2, false},
+		{"clean-k4", 4, false},
+		{"lossy-k1", 1, true},
+		{"lossy-k2", 2, true},
+		{"lossy-k4", 4, true},
+	}
+	for _, v := range variants {
+		v := v
+		samples := parMap(runs, func(r int) metrics.Sample {
+			sd := seed + int64(r)*101
+			cfg := StreamRunConfig{Spec: workload.StreamSpec{Prefetch: v.prefetch}}
+			if v.lossy {
+				cfg.Plan = lossyStreamPlan(sd)
+			}
+			rep, _ := StreamingRun(sd, cfg)
+			return rep.Sample
+		})
+		s.Add(float64(v.prefetch), v.label, metrics.Mean(samples))
+	}
+	return s
+}
+
+// CrowdSeries is the `pds-bench crowd` figure: flash-crowd QoE under a
+// Poisson trickle versus a step burst of 8 simultaneous clients. X is
+// the variant index.
+func CrowdSeries(seed int64, runs int) *metrics.Series {
+	s := &metrics.Series{Name: "flash crowd QoE"}
+	variants := []struct {
+		label   string
+		arrival workload.ArrivalSpec
+	}{
+		{"poisson", workload.ArrivalSpec{Kind: workload.Poisson, Mean: 2 * time.Second}},
+		{"step", workload.ArrivalSpec{Kind: workload.Step, At: 10 * time.Second, Count: 8}},
+	}
+	for i, v := range variants {
+		v := v
+		samples := parMap(runs, func(r int) metrics.Sample {
+			sd := seed + int64(r)*101
+			rep, _ := FlashCrowdRun(sd, CrowdRunConfig{Spec: workload.CrowdSpec{Arrival: v.arrival}})
+			return rep.Sample
+		})
+		s.Add(float64(i+1), v.label, metrics.Mean(samples))
+	}
+	return s
+}

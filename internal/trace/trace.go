@@ -91,6 +91,11 @@ const (
 	TrackerLookup   // tracker peer lookup served (Val = peers, Size = 1 when stale cache, Note = tracker addr)
 	TrackerFailover // tracker client failed over to another tracker (Note = new tracker addr)
 	ChunkTier       // retrieval chunk attributed to its serving tier (Size = chunk id, Val = bytes, Note = tier)
+
+	// Workload plane (internal/workload streaming/bulk drivers).
+	PrefetchIssued      // prefetch request issued for a segment/layer (Size = index, Val = pipeline depth, Note = item name)
+	SegmentDeadlineMiss // segment missed its playback deadline (Size = index, Val = lateness ns; lateness 0 = never arrived)
+	Stall               // playback stalled waiting for a segment (Size = index, Val = stall ns)
 )
 
 var kindNames = [...]string{
@@ -135,6 +140,10 @@ var kindNames = [...]string{
 	TrackerLookup:   "tracker_lookup",
 	TrackerFailover: "tracker_failover",
 	ChunkTier:       "chunk_tier",
+
+	PrefetchIssued:      "prefetch_issued",
+	SegmentDeadlineMiss: "segment_deadline_miss",
+	Stall:               "stall",
 }
 
 // String returns the snake_case event name used in JSONL exports.
@@ -600,6 +609,36 @@ func (nt *NodeTracer) ChunkTier(chunk, bytes int, tier string) {
 		return
 	}
 	nt.t.emit(nt.id, ChunkTier, 0, 0, 0, chunk, int64(bytes), tier)
+}
+
+// --- Workload plane ---------------------------------------------------
+
+// PrefetchIssued records a workload driver issuing a prefetch request
+// for segment (or layer) index, depth requests ahead of the playhead.
+// item must be a pre-existing string (the workload's item name).
+func (nt *NodeTracer) PrefetchIssued(index, depth int, item string) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, PrefetchIssued, 0, 0, 0, index, int64(depth), item)
+}
+
+// SegmentDeadlineMiss records segment index missing its playback
+// deadline by late (0 = it never arrived at all).
+func (nt *NodeTracer) SegmentDeadlineMiss(index int, late time.Duration, item string) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, SegmentDeadlineMiss, 0, 0, 0, index, int64(late), item)
+}
+
+// Stall records playback stalling for dur while waiting for segment
+// index.
+func (nt *NodeTracer) Stall(index int, dur time.Duration, item string) {
+	if nt == nil {
+		return
+	}
+	nt.t.emit(nt.id, Stall, 0, 0, 0, index, int64(dur), item)
 }
 
 // formatInts renders an assignment vector compactly ("0,3,7").

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec hammers the workload-spec grammar with arbitrary
+// strings: parsing must never panic, accepted specs must come out of
+// WithDefaults fully positive (every count, size and duration the
+// drivers divide by or allocate with), and parsing must be
+// deterministic (the parser is pure — same spec, same result).
+func FuzzParseSpec(f *testing.F) {
+	f.Add("stream")
+	f.Add("stream:")
+	f.Add("stream:segs=16,segdur=4s,segsize=1MB,prefetch=3")
+	f.Add("stream:vod")
+	f.Add("stream:segs=8,segdur=6s,segsize=512KB,prefetch=2,chunk=256KB,vod")
+	f.Add("crowd")
+	f.Add("crowd:items=8,layers=4,layersize=2MB,clients=24,arrival=step:10s/16")
+	f.Add("crowd:arrival=poisson:500ms")
+	f.Add("crowd:zipf=1.5,chunk=64KB")
+	f.Add("")
+	f.Add(":")
+	f.Add("stream:,,,")
+	f.Add("stream:segs=0")
+	f.Add("crowd:zipf=0.5")
+	f.Add("crowd:arrival=step:10s/0")
+	f.Add("torrent:seeds=9")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			if _, err2 := ParseSpec(spec); err2 == nil {
+				t.Fatalf("spec %q: rejected once (%v), accepted on re-parse", spec, err)
+			}
+			return
+		}
+		switch s.Kind {
+		case Stream:
+			st := s.Stream
+			if st.Segments <= 0 || st.SegmentDuration <= 0 || st.SegmentBytes <= 0 ||
+				st.Prefetch <= 0 || st.ChunkBytes <= 0 {
+				t.Fatalf("spec %q: non-positive stream field: %+v", spec, st)
+			}
+		case Crowd:
+			c := s.Crowd
+			if c.Items <= 0 || c.Layers <= 0 || c.LayerBytes <= 0 ||
+				c.Clients <= 0 || c.ChunkBytes <= 0 || c.ZipfS <= 1 {
+				t.Fatalf("spec %q: non-positive crowd field: %+v", spec, c)
+			}
+			switch c.Arrival.Kind {
+			case Poisson:
+				if c.Arrival.Mean <= 0 {
+					t.Fatalf("spec %q: poisson mean %v", spec, c.Arrival.Mean)
+				}
+			case Step:
+				if c.Arrival.At <= 0 || c.Arrival.Count <= 0 || c.Arrival.Count > c.Clients {
+					t.Fatalf("spec %q: step arrival %+v with %d clients",
+						spec, c.Arrival, c.Clients)
+				}
+			default:
+				t.Fatalf("spec %q: invalid arrival kind %d", spec, c.Arrival.Kind)
+			}
+		default:
+			t.Fatalf("spec %q: invalid kind %d", spec, s.Kind)
+		}
+		s2, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("spec %q: accepted once, rejected on re-parse: %v", spec, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("spec %q: re-parse differs:\n  %+v\n  %+v", spec, s, s2)
+		}
+	})
+}

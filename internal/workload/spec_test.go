@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecStreamDefaults(t *testing.T) {
+	s, err := ParseSpec("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != Stream {
+		t.Fatalf("kind = %v", s.Kind)
+	}
+	want := StreamSpec{
+		Segments: 8, SegmentDuration: 6 * time.Second,
+		SegmentBytes: 512 << 10, Prefetch: 2, ChunkBytes: 256 << 10,
+	}
+	if s.Stream != want {
+		t.Fatalf("defaults = %+v, want %+v", s.Stream, want)
+	}
+	// "stream:" (trailing colon, empty option list) parses identically.
+	s2, err := ParseSpec("stream:")
+	if err != nil || s2 != s {
+		t.Fatalf("stream: = %+v, %v", s2, err)
+	}
+}
+
+func TestParseSpecStreamOptions(t *testing.T) {
+	s, err := ParseSpec("stream:segs=16,segdur=4s,segsize=1MB,prefetch=3,chunk=128KB,vod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := StreamSpec{
+		Segments: 16, SegmentDuration: 4 * time.Second,
+		SegmentBytes: 1 << 20, Prefetch: 3, ChunkBytes: 128 << 10, VOD: true,
+	}
+	if s.Stream != want {
+		t.Fatalf("parsed = %+v, want %+v", s.Stream, want)
+	}
+}
+
+func TestParseSpecCrowdDefaults(t *testing.T) {
+	s, err := ParseSpec("crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Crowd
+	if c.Items != 3 || c.Layers != 3 || c.LayerBytes != 768<<10 ||
+		c.Clients != 12 || c.ZipfS != 1.2 || c.ChunkBytes != 256<<10 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.Arrival.Kind != Poisson || c.Arrival.Mean != 2*time.Second {
+		t.Fatalf("arrival = %+v", c.Arrival)
+	}
+}
+
+func TestParseSpecCrowdStep(t *testing.T) {
+	s, err := ParseSpec("crowd:items=8,layers=4,layersize=2MB,clients=24,zipf=1.5,arrival=step:10s/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Crowd
+	if c.Items != 8 || c.Layers != 4 || c.LayerBytes != 2<<20 || c.Clients != 24 || c.ZipfS != 1.5 {
+		t.Fatalf("parsed = %+v", c)
+	}
+	if c.Arrival.Kind != Step || c.Arrival.At != 10*time.Second || c.Arrival.Count != 16 {
+		t.Fatalf("arrival = %+v", c.Arrival)
+	}
+}
+
+func TestParseSpecStepCountClamped(t *testing.T) {
+	s, err := ParseSpec("crowd:clients=4,arrival=step:5s/100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Crowd.Arrival.Count != 4 {
+		t.Fatalf("count = %d, want clamped to 4", s.Crowd.Arrival.Count)
+	}
+}
+
+func TestParseSpecPoissonMean(t *testing.T) {
+	s, err := ParseSpec("crowd:arrival=poisson:500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Crowd.Arrival.Kind != Poisson || s.Crowd.Arrival.Mean != 500*time.Millisecond {
+		t.Fatalf("arrival = %+v", s.Crowd.Arrival)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                      // no kind
+		"torrent:",              // unknown kind
+		"stream:bogus=1",        // unknown option
+		"stream:segs",           // missing value
+		"stream:segs=0",         // non-positive
+		"stream:segs=-3",        // negative
+		"stream:vod=yes",        // flag with value
+		"stream:segdur=fast",    // bad duration
+		"stream:segdur=-2s",     // negative duration
+		"stream:segsize=huge",   // bad size
+		"stream:segsize=0KB",    // zero size
+		"crowd:zipf=1.0",        // zipf must be > 1
+		"crowd:zipf=x",          // bad float
+		"crowd:arrival=uniform", // unknown arrival
+		"crowd:arrival=step:nope",
+		"crowd:arrival=step:5s/zero",
+		"crowd:arrival=poisson:-1s",
+		"crowd:layersize=9999999GB", // overflow guard
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSpecWhitespaceTolerant(t *testing.T) {
+	s, err := ParseSpec(" stream: segs=4 , vod ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stream.Segments != 4 || !s.Stream.VOD {
+		t.Fatalf("parsed = %+v", s.Stream)
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int{
+		"512":   512,
+		"512KB": 512 << 10,
+		"2MB":   2 << 20,
+		"1GB":   1 << 30,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Stream.String() != "stream" || Crowd.String() != "crowd" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.HasPrefix(Kind(9).String(), "kind(") {
+		t.Fatal("unknown kind rendering")
+	}
+}

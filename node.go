@@ -389,9 +389,16 @@ func (n *Node) Retrieve(ctx context.Context, item Descriptor) ([]byte, error) {
 // after each arriving chunk with (chunks held, total). The callback
 // runs on the node's internal goroutine and must not block.
 func (n *Node) RetrieveWithProgress(ctx context.Context, item Descriptor, progress func(done, total int)) ([]byte, error) {
+	return n.RetrieveWithOptions(ctx, item, RetrieveOptions{Progress: progress})
+}
+
+// RetrieveWithOptions is Retrieve with per-session options: a deadline
+// override, a progress callback, and the request-window override
+// streaming prefetchers use to keep several pipelined sessions polite.
+func (n *Node) RetrieveWithOptions(ctx context.Context, item Descriptor, opts RetrieveOptions) ([]byte, error) {
 	done := make(chan RetrievalResult, 1)
 	n.clk.Locked(func() {
-		n.core.RetrieveWithProgress(item, progress, func(r RetrievalResult) { done <- r })
+		n.core.RetrieveWithOptions(item, opts, func(r RetrievalResult) { done <- r })
 	})
 	select {
 	case r := <-done:

@@ -59,6 +59,10 @@ type DiscoveryResult = core.DiscoveryResult
 // RetrievalResult reports a finished large-item retrieval.
 type RetrievalResult = core.RetrievalResult
 
+// RetrieveOptions tune one retrieval session (per-session deadline,
+// progress callback, prefetch-politeness request window).
+type RetrieveOptions = core.RetrieveOptions
+
 // Value constructors, re-exported from the descriptor layer.
 var (
 	String = attr.String
