@@ -2,7 +2,7 @@ GO ?= go
 BENCH_RUNS ?= 3
 BENCH_SIZE ?= 2
 
-.PHONY: build test lint verify fuzz bench benchdiff baseline
+.PHONY: build test lint verify fuzz bench benchdiff baseline compare
 
 build:
 	$(GO) build ./...
@@ -69,3 +69,10 @@ benchdiff:
 baseline:
 	$(GO) run ./cmd/pds-bench -json -runs 1 -size 1 all
 	cp BENCH_PDS.json BENCH_BASELINE.json
+
+# compare runs the routing × caching strategy matrix (see DESIGN.md
+# §16) over the default scenarios and prints one ranked table per
+# scenario. Narrow or widen the matrix with e.g.
+# `make compare COMPARE_FLAGS='-routings cdi,bfr -compare-scenarios fig11'`.
+compare:
+	$(GO) run ./cmd/pds-bench -runs $(BENCH_RUNS) -size $(BENCH_SIZE) $(COMPARE_FLAGS) compare

@@ -9,7 +9,14 @@
 // where <figure> is one of: fig3, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig9class, fig11, fig12, fig12class, fig13, fig15, fig16, saturation,
 // leaky, ack, ablation, balance, cache, chaos, disk, scale, stream,
-// crowd, all.
+// crowd, compare, all.
+//
+// `compare` is the strategy A/B harness: it runs a routing × caching
+// matrix (-routings, -cachings; defaults: every registered routing ×
+// fifo/opportunistic) over the -compare-scenarios cells and prints one
+// ranked table per scenario, best strategy pair first. -quick shrinks
+// the cells to CI-smoke size. Each scenario lands in the JSON report as
+// its own `compare/<scenario>` figure.
 //
 // With -json, machine-readable results — every metric row plus wall
 // time and allocation counters per figure — are also written to
@@ -41,6 +48,20 @@ func main() {
 	}
 }
 
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	out := make([]string, 0, 4)
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // jsonFile is where -json results land.
 const jsonFile = "BENCH_PDS.json"
 
@@ -56,15 +77,16 @@ type figure struct {
 
 // jsonPoint is one metric row of a series in machine-readable form.
 type jsonPoint struct {
-	X             float64                `json:"x"`
-	Label         string                 `json:"label"`
-	Recall        float64                `json:"recall"`
-	LatencySec    float64                `json:"latency_s"`
-	OverheadBytes uint64                 `json:"overhead_bytes"`
-	Rounds        float64                `json:"rounds,omitempty"`
-	Faults        *metrics.FaultCounters `json:"faults,omitempty"`
-	Disk          *metrics.DiskCounters  `json:"disk,omitempty"`
-	QoE           *metrics.QoECounters   `json:"qoe,omitempty"`
+	X             float64                   `json:"x"`
+	Label         string                    `json:"label"`
+	Recall        float64                   `json:"recall"`
+	LatencySec    float64                   `json:"latency_s"`
+	OverheadBytes uint64                    `json:"overhead_bytes"`
+	Rounds        float64                   `json:"rounds,omitempty"`
+	Faults        *metrics.FaultCounters    `json:"faults,omitempty"`
+	Disk          *metrics.DiskCounters     `json:"disk,omitempty"`
+	QoE           *metrics.QoECounters      `json:"qoe,omitempty"`
+	Strategy      *metrics.StrategyCounters `json:"strategy,omitempty"`
 }
 
 // jsonSeries is one figure line.
@@ -125,6 +147,7 @@ func toJSONSeries(series []*metrics.Series) []jsonSeries {
 			}
 			jp.Disk = p.Sample.Disk
 			jp.QoE = p.Sample.QoE
+			jp.Strategy = p.Sample.Strategy
 			js.Points = append(js.Points, jp)
 		}
 		out = append(out, js)
@@ -174,6 +197,13 @@ func run(args []string) error {
 	jsonOut := fs.Bool("json", false, "also write machine-readable results to "+jsonFile)
 	traceOut := fs.String("trace-out", "",
 		"additionally run one traced Figure-8 discovery (5 consumers, 5000 entries) and write its JSONL here")
+	routings := fs.String("routings", "",
+		"comma-separated routing strategies for the compare matrix (default: every registered one)")
+	cachings := fs.String("cachings", "",
+		"comma-separated caching strategies for the compare matrix (default: fifo,opportunistic)")
+	compareScens := fs.String("compare-scenarios", "",
+		"comma-separated compare scenario cells: "+strings.Join(scenario.CompareScenarios, ",")+" (default: fig8,fig11,chaos)")
+	quick := fs.Bool("quick", false, "shrink compare cells to CI-smoke size")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -277,6 +307,38 @@ func run(args []string) error {
 		}},
 	}
 
+	// The compare matrix lands as one figure per scenario cell
+	// (`compare/<scenario>`), so pds-benchdiff tracks each cell's cost
+	// independently of which scenarios a given run selected.
+	cmpCfg := scenario.CompareConfig{
+		Routings:  splitList(*routings),
+		Cachings:  splitList(*cachings),
+		Scenarios: splitList(*compareScens),
+		SizeMB:    *sizeMB,
+		Seed:      *seed,
+		Runs:      *runs,
+		Quick:     *quick,
+	}.WithDefaults()
+	if name == "all" || name == "compare" || strings.HasPrefix(name, "compare/") {
+		if err := cmpCfg.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, scen := range cmpCfg.Scenarios {
+		scen := scen
+		figures = append(figures, figure{
+			name: "compare/" + scen,
+			desc: fmt.Sprintf("Compare: routing×caching strategy matrix, ranked, on %s", scen),
+			run: func() []*metrics.Series {
+				s, err := scenario.CompareOne(scen, cmpCfg)
+				if err != nil {
+					panic(err)
+				}
+				return []*metrics.Series{s}
+			},
+		})
+	}
+
 	report := jsonReport{
 		Seed:       *seed,
 		Runs:       *runs,
@@ -287,7 +349,9 @@ func run(args []string) error {
 	start := time.Now()
 	ran := false
 	for _, f := range figures {
-		if name == "all" || f.name == name {
+		// `compare` selects every compare/<scenario> cell figure.
+		if name == "all" || f.name == name ||
+			(name == "compare" && strings.HasPrefix(f.name, "compare/")) {
 			jf := runFigure(f)
 			if f.name == "scale" && scaleResult != nil {
 				jf.Scale = &jsonScale{
@@ -311,7 +375,7 @@ func run(args []string) error {
 		for _, f := range figures {
 			known = append(known, f.name)
 		}
-		return fmt.Errorf("unknown figure %q (try: all, %s)", name, strings.Join(known, ", "))
+		return fmt.Errorf("unknown figure %q (try: all, compare, %s)", name, strings.Join(known, ", "))
 	}
 	report.WallSeconds = time.Since(start).Seconds()
 	if name == "all" {

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // report mirrors the BENCH_PDS.json fields the gate needs.
@@ -74,12 +75,18 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
-// totalWall sums the figure wall times (the report's own wall_seconds
-// includes printing and is absent from trimmed baselines).
-func totalWall(r *report) float64 {
+// totalWall sums the wall times of the figures whose names the keep set
+// admits (the report's own wall_seconds includes printing and is absent
+// from trimmed baselines). Totals are computed over the figures both
+// reports share, so a run that selects extra figures — or skips the
+// optional compare matrix — does not skew every other figure's
+// wall-share.
+func totalWall(r *report, keep map[string]bool) float64 {
 	var t float64
 	for _, f := range r.Figures {
-		t += f.WallSeconds
+		if keep[f.Name] {
+			t += f.WallSeconds
+		}
 	}
 	return t
 }
@@ -120,7 +127,13 @@ func diff(w io.Writer, base, cur *report, threshold float64, rawWall bool) int {
 	for _, f := range base.Figures {
 		baseByName[f.Name] = f
 	}
-	baseTotal, curTotal := totalWall(base), totalWall(cur)
+	shared := make(map[string]bool, len(cur.Figures))
+	for _, f := range cur.Figures {
+		if _, ok := baseByName[f.Name]; ok {
+			shared[f.Name] = true
+		}
+	}
+	baseTotal, curTotal := totalWall(base, shared), totalWall(cur, shared)
 
 	failed := 0
 	check := func(name, axis string, baseVal, curVal float64) {
@@ -158,9 +171,16 @@ func diff(w io.Writer, base, cur *report, threshold float64, rawWall bool) int {
 		}
 	}
 	for _, f := range base.Figures {
-		if !seen[f.Name] {
-			fmt.Fprintf(w, "%-12s dropped from current report\n", f.Name)
+		if seen[f.Name] {
+			continue
 		}
+		// compare/<scenario> figures are the strategy matrix's rows:
+		// which cells a run selects is a harness choice (-compare-
+		// scenarios), not a regression, so their absence is no notice.
+		if strings.HasPrefix(f.Name, "compare/") {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s dropped from current report\n", f.Name)
 	}
 	return failed
 }

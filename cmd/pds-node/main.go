@@ -74,6 +74,10 @@ func run(args []string) error {
 		"with -data-dir: keep cached third-party payloads across restarts too")
 	debugAddr := fs.String("debug-addr", "",
 		"serve expvar, pprof and a /debug/trace recent-events dump on this HTTP address, e.g. 127.0.0.1:6060")
+	routing := fs.String("routing", "",
+		"routing strategy: "+strings.Join(pds.RoutingStrategies(), " | ")+" (empty = default)")
+	caching := fs.String("caching", "",
+		"caching strategy: "+strings.Join(pds.CachingStrategies(), " | ")+" (empty = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,6 +143,9 @@ func run(args []string) error {
 	}
 	if *originURL != "" {
 		opts = append(opts, pds.WithOrigin(pds.NewHTTPOrigin(*originURL, 0)))
+	}
+	if *routing != "" || *caching != "" {
+		opts = append(opts, pds.WithStrategies(*routing, *caching))
 	}
 	node, err := pds.NewNode(trans, opts...)
 	if err != nil {
@@ -280,11 +287,13 @@ func run(args []string) error {
 }
 
 // debugServer starts the live-telemetry HTTP endpoint: expvar (with the
-// node's protocol counters published under "pds_stats"), the pprof
+// node's protocol counters published under "pds_stats", and the
+// strategy plane's names and counters under "pds_strategy"), the pprof
 // profiles, and /debug/trace streaming the tracer's buffered events as
 // JSONL — the same format pds-trace analyzes.
 func debugServer(addr string, node *pds.Node) *http.Server {
 	expvar.Publish("pds_stats", expvar.Func(func() any { return node.Stats() }))
+	expvar.Publish("pds_strategy", expvar.Func(func() any { return node.StrategyStats() }))
 	if _, ok := node.DiskStats(); ok {
 		expvar.Publish("pds_diskstore", expvar.Func(func() any {
 			st, _ := node.DiskStats()

@@ -11,12 +11,14 @@
 //	pds-sim -workload stream:segs=16,segdur=4s,prefetch=3
 //	pds-sim -workload crowd:clients=24,arrival=step:10s/16 -burst-loss 0.3
 //	pds-sim -workload stream: -nodes 2000
+//	pds-sim -mode pdr -size 5 -routing bfr -caching opportunistic
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pds/internal/core"
@@ -25,6 +27,7 @@ import (
 	"pds/internal/metrics"
 	"pds/internal/mobility"
 	"pds/internal/scenario"
+	"pds/internal/strategy"
 	"pds/internal/trace"
 	"pds/internal/wire"
 	"pds/internal/workload"
@@ -64,8 +67,22 @@ func run(args []string) error {
 		"Gilbert–Elliott burst channel from t=0 with this bad-state loss probability")
 	workloadSpec := fs.String("workload", "",
 		"workload spec, e.g. 'stream:segs=16,segdur=4s' or 'crowd:clients=24,arrival=step:10s/16' (see internal/workload.ParseSpec; overrides -mode)")
+	routing := fs.String("routing", "",
+		"routing strategy for every peer: "+strings.Join(strategy.RoutingNames(), " | ")+" (empty = "+strategy.DefaultRouting+" default)")
+	caching := fs.String("caching", "",
+		"caching strategy for every peer: "+strings.Join(strategy.CachingNames(), " | ")+" (empty = "+strategy.DefaultCaching+" default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *routing != "" && !containsName(strategy.RoutingNames(), *routing) {
+		return fmt.Errorf("unknown routing strategy %q (have %v)", *routing, strategy.RoutingNames())
+	}
+	if *caching != "" && !containsName(strategy.CachingNames(), *caching) {
+		return fmt.Errorf("unknown caching strategy %q (have %v)", *caching, strategy.CachingNames())
+	}
+	strategySelected := *routing != "" || *caching != ""
+	if strategySelected && *nodes > 0 {
+		return fmt.Errorf("-routing/-caching are not supported for the city-scale scenario")
 	}
 
 	if *workloadSpec != "" {
@@ -93,12 +110,14 @@ func run(args []string) error {
 		case wspec.Kind == workload.Stream:
 			rep, tracer := scenario.StreamingRun(*seed, scenario.StreamRunConfig{
 				Spec: wspec.Stream, Plan: pp, Trace: *traceOut != "", TraceCap: *traceCap,
+				Routing: *routing, Caching: *caching,
 			})
 			fmt.Println(rep.Row)
 			return writeTrace(tracer, *traceOut)
 		default:
 			rep, tracer := scenario.FlashCrowdRun(*seed, scenario.CrowdRunConfig{
 				Spec: wspec.Crowd, Plan: pp, Trace: *traceOut != "", TraceCap: *traceCap,
+				Routing: *routing, Caching: *caching,
 			})
 			fmt.Println(rep.Row)
 			return writeTrace(tracer, *traceOut)
@@ -116,7 +135,7 @@ func run(args []string) error {
 
 	faultsRequested := *faultPlan != "" || *crash != "" || *burstLoss > 0
 	opts := scenario.Options{Seed: *seed}
-	if *singleRound || *noAck || faultsRequested {
+	if *singleRound || *noAck || faultsRequested || strategySelected {
 		c := core.DefaultConfig()
 		if *singleRound {
 			c.MaxRounds = 1
@@ -128,6 +147,8 @@ func run(args []string) error {
 			c.RetrievalDeadline = *deadline
 			c.ExtendRoundsOnLoss = true
 		}
+		c.Routing = *routing
+		c.Caching = *caching
 		opts.Core = c
 		if *noAck {
 			l := link.DefaultConfig(nil)
@@ -227,6 +248,9 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	if sc := d.StrategyCounters(); sc != nil {
+		fmt.Printf("strategy: %s\n", sc)
+	}
 	if inj != nil {
 		fsStats := inj.Stats()
 		rs := d.Medium.Stats()
@@ -240,6 +264,16 @@ func run(args []string) error {
 			fc, fsStats.Restarts, fsStats.Departures, fsStats.BurstLosses, rs.DupFrames)
 	}
 	return writeTrace(tracer, *traceOut)
+}
+
+// containsName reports whether names contains n.
+func containsName(names []string, n string) bool {
+	for _, v := range names {
+		if v == n {
+			return true
+		}
+	}
+	return false
 }
 
 // assemblePlan combines the -fault-plan spec, the -crash shorthand and

@@ -17,6 +17,7 @@ import (
 	"pds/internal/attr"
 	"pds/internal/clock"
 	"pds/internal/store"
+	"pds/internal/strategy"
 	"pds/internal/trace"
 	"pds/internal/wire"
 )
@@ -85,6 +86,17 @@ type Config struct {
 	// (FIFO default; LRU/LFU implement §VII's popularity-based
 	// caching sketch).
 	CachePolicy store.CachePolicy
+	// Caching, when non-empty, selects the cache strategy by registry
+	// name (internal/strategy: "fifo", "lru", "lfu", "opportunistic",
+	// ...) and overrides CachePolicy. Empty keeps the CachePolicy enum —
+	// the seed's behavior.
+	Caching string
+
+	// Routing, when non-empty, selects the routing strategy by registry
+	// name (internal/strategy: "cdi", "qfreq", "bfr", ...). Empty means
+	// "cdi", the paper's CDI distance-vector routing, which behaves
+	// byte-identically to the pre-strategy code.
+	Routing string
 
 	// LoadBalanceEnabled applies the min-max assignment heuristic of
 	// §IV-B when dividing chunk queries among neighbors. Off always
@@ -190,6 +202,9 @@ type Node struct {
 	cdi *store.CDITable
 	lqt *store.LQT
 	rr  *store.RecentResponses
+	// routing is the pluggable route-selection strategy (never nil);
+	// the default "cdi" strategy reads the CDI table verbatim.
+	routing strategy.RoutingStrategy
 
 	// servePending coalesces response generation per query kind.
 	servePending map[wire.QueryKind]bool
@@ -235,10 +250,67 @@ func NewNode(id wire.NodeID, clk clock.Clock, rng *rand.Rand, send Sender, cfg C
 		retrievals: make(map[string]*retrieval),
 		health:     newHealthTracker(),
 	}
-	n.ds.SetCachePolicy(cfg.CachePolicy)
+	if cfg.Caching != "" {
+		cs, err := strategy.NewCaching(cfg.Caching, id)
+		if err != nil {
+			panic("core: " + err.Error()) // CLIs validate names up front
+		}
+		n.ds.SetCacheStrategy(cs)
+	} else {
+		n.ds.SetCachePolicy(cfg.CachePolicy)
+	}
+	rt, err := strategy.NewRouting(cfg.Routing, &strategy.RoutingEnv{
+		Self:          id,
+		CDIRoutes:     n.cdiRoutes,
+		OwnedItemKeys: func() []string { return n.ds.OwnedItemKeys() },
+		Flood:         n.floodStrategyQuery,
+		NewID:         n.newID,
+	})
+	if err != nil {
+		panic("core: " + err.Error()) // CLIs validate names up front
+	}
+	n.routing = rt
 	n.scheduleHousekeeping()
 	return n
 }
+
+// cdiRoutes adapts the CDI table's lookup rows to strategy routes; it
+// is the RoutingEnv capability every routing strategy builds on.
+func (n *Node) cdiRoutes(itemKey string, chunkID int, now time.Duration) []strategy.Route {
+	entries := n.cdi.Lookup(itemKey, chunkID, now)
+	if len(entries) == 0 {
+		return nil
+	}
+	routes := make([]strategy.Route, len(entries))
+	for i, e := range entries {
+		routes[i] = strategy.Route{Neighbor: e.Neighbor, Hop: e.HopCount}
+	}
+	return routes
+}
+
+// floodStrategyQuery broadcasts a strategy-originated query (a content
+// advertisement, already stamped with the node as sender and origin):
+// the node inserts the query into the LQT so the flood's echoes
+// deduplicate, and sends with forward jitter to desynchronize advert
+// bursts across nodes.
+func (n *Node) floodStrategyQuery(q *wire.Query) {
+	now := n.clk.Now()
+	n.lqt.Insert(q, now+q.TTL)
+	n.tr.QueryStart(q.ID, int(q.Round), q.Kind.String())
+	n.sendJittered(&wire.Message{Type: wire.TypeQuery, Query: q}, n.cfg.ForwardJitterMax)
+}
+
+// RoutingName returns the active routing strategy's registry name.
+func (n *Node) RoutingName() string { return n.routing.Name() }
+
+// RoutingCounters returns the routing strategy's bookkeeping snapshot.
+func (n *Node) RoutingCounters() strategy.RoutingCounters { return n.routing.Counters() }
+
+// CachingName returns the store's cache strategy registry name.
+func (n *Node) CachingName() string { return n.ds.CacheStrategyName() }
+
+// CacheCounters returns the cache strategy's bookkeeping snapshot.
+func (n *Node) CacheCounters() strategy.CacheCounters { return n.ds.CacheCounters() }
 
 // ID returns the node id.
 func (n *Node) ID() wire.NodeID { return n.id }
@@ -308,6 +380,7 @@ func (n *Node) Crash() {
 	n.lqt.SetTracer(n.tr)
 	n.rr = store.NewRecentResponses(n.cfg.RecentRespRetention)
 	n.health.reset()
+	n.routing.Reset()
 }
 
 // Restart powers a crashed node back on with only its owned data. With
@@ -352,6 +425,7 @@ func (n *Node) scheduleHousekeeping() {
 		n.cdi.Expire(now)
 		n.lqt.Expire(now)
 		n.rr.Prune(now)
+		n.routing.Tick(now)
 		n.scheduleHousekeeping()
 	})
 }
@@ -363,6 +437,7 @@ func (n *Node) PublishEntry(d attr.Descriptor) { n.ds.PutOwned(d) }
 // PublishSmall publishes a small data item: payload plus its entry.
 func (n *Node) PublishSmall(d attr.Descriptor, payload []byte) {
 	n.ds.PutPayloadOwned(d, payload)
+	n.routing.OnPublish(d.Key(), n.clk.Now())
 }
 
 // PublishChunk publishes one chunk of a large item. The chunk descriptor
@@ -373,6 +448,7 @@ func (n *Node) PublishChunk(item attr.Descriptor, chunkID int, payload []byte) {
 	cd := item.WithChunk(chunkID)
 	n.ds.PutPayloadOwned(cd, payload)
 	n.ds.PutOwned(item)
+	n.routing.OnPublish(item.Key(), n.clk.Now())
 }
 
 // PublishItem splits payload into chunkSize chunks, publishes all of

@@ -19,6 +19,10 @@ func (n *Node) handleQuery(q *wire.Query) {
 		n.handleChunkQuery(q)
 		return
 	}
+	if q.Kind == wire.KindAdvert {
+		n.handleAdvert(q)
+		return
+	}
 	now := n.clk.Now()
 
 	// LQT Lookup: drop redundant copies, insert new queries.
@@ -36,6 +40,7 @@ func (n *Node) handleQuery(q *wire.Query) {
 	case wire.KindMetadata, wire.KindData:
 		n.scheduleServe(q.Kind)
 	case wire.KindCDI:
+		n.routing.ObserveQuery(q.Item.Key(), q.Sender, now)
 		n.respondCDI(q)
 	}
 
@@ -69,6 +74,40 @@ func (n *Node) handleQuery(q *wire.Query) {
 		// Snapshot, not alias: the lingering copy keeps mutating after
 		// this frame is queued, and an in-flight frame must not change.
 		fwd.Bloom = lq.Bloom.Clone()
+	}
+	n.stats.QueriesForwarded++
+	n.tr.QueryForward(q.ID, q.Sender, int(fwd.HopsLeft))
+	n.sendJittered(&wire.Message{Type: wire.TypeQuery, Query: &fwd}, n.cfg.ForwardJitterMax)
+}
+
+// handleAdvert processes a content advertisement (strategy plane):
+// deduplicate via the LQT like any flooded query, hand the frozen
+// advert to the routing strategy, then re-flood with the hop-traveled
+// counter (Round) incremented so downstream nodes learn their distance
+// to the origin. Nodes running a non-advertising strategy still relay —
+// strategies are per-node and a mixed network must stay connected.
+func (n *Node) handleAdvert(q *wire.Query) {
+	now := n.clk.Now()
+	if n.lqt.Exists(q.ID, now) {
+		n.stats.QueriesDuplicate++
+		return
+	}
+	n.lqt.Insert(q, now+q.TTL)
+	n.routing.ObserveAdvert(q, now)
+	if len(q.Receivers) > 0 && !containsID(q.Receivers, n.id) {
+		return
+	}
+	if q.HopsLeft == 1 {
+		return
+	}
+	// Copy-on-write forward: fresh struct, shared immutable sections
+	// (the Bloom filter travels frozen; distance is carried in Round).
+	fwd := *q
+	fwd.Sender = n.id
+	fwd.Receivers = nil
+	fwd.Round = q.Round + 1
+	if fwd.HopsLeft > 1 {
+		fwd.HopsLeft--
 	}
 	n.stats.QueriesForwarded++
 	n.tr.QueryForward(q.ID, q.Sender, int(fwd.HopsLeft))
@@ -367,6 +406,7 @@ func (n *Node) cacheResponse(r *wire.Response, now time.Duration) {
 			if n.cdi.Update(itemKey, e) {
 				updates++
 				n.tr.CDIUpdate(r.ID, r.Sender, p.ChunkID, p.HopCount+1)
+				n.routing.ObserveCDI(itemKey, p.ChunkID, p.HopCount+1, r.Sender)
 			}
 		}
 		// A CDI response also implies the item exists: cache its entry

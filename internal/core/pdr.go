@@ -279,23 +279,25 @@ func (r *retrieval) check() {
 	}
 }
 
-// cdiCovers reports whether every missing chunk has a routing option.
+// cdiCovers reports whether every missing chunk has a routing option
+// under the node's routing strategy.
 func (r *retrieval) cdiCovers() bool {
 	now := r.n.clk.Now()
 	for _, c := range r.missing() {
-		if len(r.n.cdi.Lookup(r.itemKey, c, now)) == 0 {
+		if len(r.n.routing.SelectRoutes(r.itemKey, c, now)) == 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// knownChunks counts missing chunks that have at least one CDI option.
+// knownChunks counts missing chunks that have at least one routing
+// option.
 func (r *retrieval) knownChunks() int {
 	now := r.n.clk.Now()
 	k := 0
 	for _, c := range r.missing() {
-		if len(r.n.cdi.Lookup(r.itemKey, c, now)) > 0 {
+		if len(r.n.routing.SelectRoutes(r.itemKey, c, now)) > 0 {
 			k++
 		}
 	}
@@ -560,10 +562,10 @@ func (n *Node) sendChunkQueries(item attr.Descriptor, chunks []int, origin wire.
 	itemKey := item.Key()
 	req := assign.Request{Chunks: chunks, Options: make([][]assign.Option, len(chunks))}
 	for i, c := range chunks {
-		options := n.cdi.Lookup(itemKey, c, now)
+		routes := n.routing.SelectRoutes(itemKey, c, now)
 		var usable []assign.Option
 		blocked := 0
-		for _, e := range options {
+		for _, e := range routes {
 			if e.Neighbor == exclude || e.Neighbor == n.id {
 				continue
 			}
@@ -571,7 +573,7 @@ func (n *Node) sendChunkQueries(item attr.Descriptor, chunks []int, origin wire.
 				blocked++
 				continue
 			}
-			usable = append(usable, assign.Option{Neighbor: e.Neighbor, Hop: e.HopCount})
+			usable = append(usable, assign.Option{Neighbor: e.Neighbor, Hop: e.Hop})
 		}
 		n.stats.BlacklistSkips += uint64(blocked)
 		req.Options[i] = usable
@@ -628,6 +630,7 @@ func (n *Node) handleChunkQuery(q *wire.Query) {
 	}
 
 	itemKey := q.Item.Key()
+	n.routing.ObserveQuery(itemKey, q.Sender, now)
 	// Cycle damping: chunks already wanted on behalf of the same origin
 	// by another lingering query are being fetched already; drop them
 	// from this query. Chunk lingering queries expire quickly (see
@@ -761,6 +764,7 @@ func (n *Node) OnSendFailure(msg *wire.Message, unacked []wire.NodeID) {
 		if n.health.recordFailure(nb, now) == deadThreshold {
 			n.stats.NeighborsDead++
 			n.cdi.DropNeighborAll(nb)
+			n.routing.OnNeighborDown(nb)
 		}
 	}
 	if msg.Type != wire.TypeQuery || msg.Query == nil || msg.Query.Kind != wire.KindChunk {

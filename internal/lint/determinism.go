@@ -61,6 +61,8 @@ var determinismExemptSuffixes = []string{
 var determinismStrictSuffixes = []string{
 	"/internal/spatial",
 	"fixture/spatial",
+	"/internal/strategy",
+	"fixture/strategy",
 }
 
 func determinismStrict(path string) bool {

@@ -17,6 +17,8 @@ func TestDeterminismStrictScope(t *testing.T) {
 	}{
 		{"pds/internal/spatial", true},
 		{"fixture/spatial", true},
+		{"pds/internal/strategy", true},
+		{"fixture/strategy", true},
 		{"pds/internal/core", false},
 		{"pds/internal/scenario", false},
 		{"pds/internal/radio", false},

@@ -38,6 +38,64 @@ type Sample struct {
 	// one-shot discovery/retrieval runs, which therefore render
 	// byte-identically to runs predating the workload engine.
 	QoE *QoECounters
+	// Strategy carries the routing/caching strategy-plane counters; nil
+	// unless a non-default strategy was selected explicitly, so default
+	// runs render byte-identically to runs predating the strategy plane.
+	Strategy *StrategyCounters
+}
+
+// StrategyCounters summarizes one run's routing/caching strategy-plane
+// activity (per-node counters summed over the deployment), tagged with
+// the strategy names so A/B rows are self-describing.
+type StrategyCounters struct {
+	// Routing / Caching are the registered strategy names in effect.
+	Routing string `json:"routing"`
+	Caching string `json:"caching"`
+	// AdvertFloods counts content-advertisement floods originated.
+	AdvertFloods uint64 `json:"advert_floods"`
+	// AdvertsHeld is the size of the advert route table at sample time.
+	AdvertsHeld uint64 `json:"adverts_held"`
+	// FreqEntries is the size of the query-frequency table at sample time.
+	FreqEntries uint64 `json:"freq_entries"`
+	// RouteOverrides counts forwarding decisions the strategy changed
+	// relative to the plain CDI choice.
+	RouteOverrides uint64 `json:"route_overrides"`
+	// FallbackRoutes counts routes served from the strategy's own state
+	// when the CDI had no entry.
+	FallbackRoutes uint64 `json:"fallback_routes"`
+	// CacheAdmitSkips counts cached payloads the admission gate rejected.
+	CacheAdmitSkips uint64 `json:"cache_admit_skips"`
+}
+
+// Any reports whether the strategy plane saw any non-default activity.
+func (s StrategyCounters) Any() bool {
+	return s.AdvertFloods > 0 || s.AdvertsHeld > 0 || s.FreqEntries > 0 ||
+		s.RouteOverrides > 0 || s.FallbackRoutes > 0 || s.CacheAdmitSkips > 0
+}
+
+// Add accumulates another counter set (per-node roll-up; names stick to
+// the first non-empty value, which per-deployment aggregation makes the
+// shared pair).
+func (s *StrategyCounters) Add(o StrategyCounters) {
+	if s.Routing == "" {
+		s.Routing = o.Routing
+	}
+	if s.Caching == "" {
+		s.Caching = o.Caching
+	}
+	s.AdvertFloods += o.AdvertFloods
+	s.AdvertsHeld += o.AdvertsHeld
+	s.FreqEntries += o.FreqEntries
+	s.RouteOverrides += o.RouteOverrides
+	s.FallbackRoutes += o.FallbackRoutes
+	s.CacheAdmitSkips += o.CacheAdmitSkips
+}
+
+// String renders the counters as a compact row suffix.
+func (s StrategyCounters) String() string {
+	return fmt.Sprintf("routing=%s caching=%s floods=%d adverts=%d freq=%d overrides=%d fallbacks=%d admitskips=%d",
+		s.Routing, s.Caching, s.AdvertFloods, s.AdvertsHeld, s.FreqEntries,
+		s.RouteOverrides, s.FallbackRoutes, s.CacheAdmitSkips)
 }
 
 // QoECounters are the quality-of-experience measures of one workload
@@ -244,9 +302,11 @@ func Mean(samples []Sample) Sample {
 	var disk DiskCounters
 	var tiers TierCounters
 	var qoe QoECounters
+	var strat StrategyCounters
 	diskRuns := uint64(0)
 	tierRuns := uint64(0)
 	qoeRuns := uint64(0)
+	stratRuns := uint64(0)
 	for _, s := range samples {
 		out.Recall += s.Recall
 		lat += float64(s.Latency)
@@ -267,6 +327,10 @@ func Mean(samples []Sample) Sample {
 		if s.QoE != nil {
 			qoe.Add(*s.QoE)
 			qoeRuns++
+		}
+		if s.Strategy != nil {
+			strat.Add(*s.Strategy)
+			stratRuns++
 		}
 	}
 	n := float64(len(samples))
@@ -318,6 +382,15 @@ func Mean(samples []Sample) Sample {
 		qoe.SyncSeconds()
 		out.QoE = &qoe
 	}
+	if stratRuns > 0 {
+		strat.AdvertFloods /= stratRuns
+		strat.AdvertsHeld /= stratRuns
+		strat.FreqEntries /= stratRuns
+		strat.RouteOverrides /= stratRuns
+		strat.FallbackRoutes /= stratRuns
+		strat.CacheAdmitSkips /= stratRuns
+		out.Strategy = &strat
+	}
 	return out
 }
 
@@ -362,6 +435,11 @@ func (s *Series) String() string {
 			// QoE rows carry their workload suffix; pre-workload rows
 			// have a nil QoE and render exactly as they always did.
 			fmt.Fprintf(&b, "  %s", p.Sample.QoE)
+		}
+		if p.Sample.Strategy != nil {
+			// Strategy rows likewise carry the A/B suffix only when a
+			// non-default strategy pair was selected explicitly.
+			fmt.Fprintf(&b, "  %s", p.Sample.Strategy)
 		}
 		b.WriteByte('\n')
 	}

@@ -68,6 +68,10 @@ func (d *Deployment) report(in *fault.Injector, consumer wire.NodeID, kind strin
 		sample.Disk = dc
 		row += " " + dc.String()
 	}
+	if sc := d.StrategyCounters(); sc != nil {
+		sample.Strategy = sc
+		row += " " + sc.String()
+	}
 	return ChaosReport{
 		Done:     done,
 		Recall:   recall,
@@ -88,8 +92,18 @@ func (d *Deployment) report(in *fault.Injector, consumer wire.NodeID, kind strin
 // whether routing does. The retrieval must either complete or return an
 // enumerated partial result by its deadline — never hang.
 func CrashTheHub(seed int64, itemBytes int) ChaosReport {
+	return crashTheHub(seed, itemBytes, "", "")
+}
+
+// crashTheHub is CrashTheHub parameterized over the routing/caching
+// strategy pair; empty names keep the node defaults (and a nil
+// Sample.Strategy, so default rows stay byte-identical).
+func crashTheHub(seed int64, itemBytes int, routing, caching string) ChaosReport {
 	const deadline = 8 * time.Minute
-	d := Grid(10, 10, GridSpacing, Options{Seed: seed, Core: chaosConfig(deadline)})
+	cfg := chaosConfig(deadline)
+	cfg.Routing = routing
+	cfg.Caching = caching
+	d := Grid(10, 10, GridSpacing, Options{Seed: seed, Core: cfg})
 	consumer := CenterID(10, 10)
 	d.Pin(consumer)
 	hub := consumer + 1 // east neighbor: on the shortest path of ~half the grid

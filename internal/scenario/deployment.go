@@ -291,6 +291,37 @@ func (d *Deployment) DiskCounters() *metrics.DiskCounters {
 	return &out
 }
 
+// StrategyCounters rolls up the routing/caching strategy counters of
+// every live peer. It returns nil unless the deployment selected a
+// strategy explicitly (Options.Core.Routing or .Caching non-empty), so
+// default runs keep rendering byte-identical rows to builds predating
+// the strategy plane.
+func (d *Deployment) StrategyCounters() *metrics.StrategyCounters {
+	if d.opts.Core.Routing == "" && d.opts.Core.Caching == "" {
+		return nil
+	}
+	var out metrics.StrategyCounters
+	for _, id := range d.sortedPeerIDs() {
+		p := d.Peers[id]
+		if p.Down {
+			continue
+		}
+		rc := p.Node.RoutingCounters()
+		cc := p.Node.CacheCounters()
+		out.Add(metrics.StrategyCounters{
+			Routing:         p.Node.RoutingName(),
+			Caching:         p.Node.CachingName(),
+			AdvertFloods:    rc.AdvertFloods,
+			AdvertsHeld:     rc.AdvertsHeld,
+			FreqEntries:     rc.FreqEntries,
+			RouteOverrides:  rc.RouteOverrides,
+			FallbackRoutes:  rc.FallbackRoutes,
+			CacheAdmitSkips: cc.AdmitSkips,
+		})
+	}
+	return &out
+}
+
 // Close releases per-peer resources (open diskstores). Only needed for
 // deployments built with Options.DataDir.
 func (d *Deployment) Close() {

@@ -29,6 +29,10 @@ type StreamRunConfig struct {
 	// Trace attaches an event tracer (TraceCap bounds per-node rings).
 	Trace    bool
 	TraceCap int
+	// Routing / Caching select registered strategies for every peer;
+	// empty keeps the node defaults (and byte-identical rows).
+	Routing string
+	Caching string
 }
 
 // StreamReport is one finished streaming run.
@@ -86,6 +90,10 @@ func (d *Deployment) streamReport(kind string, spec workload.StreamSpec, res wor
 	row := fmt.Sprintf("%s seed=%d recall=%.4f latency=%s overhead=%s rounds=%.1f done=%v  %s",
 		kind, d.seed, recall, metrics.Seconds(res.MeanLatency), metrics.MB(tx),
 		res.Rounds, done, q.String())
+	if sc := d.StrategyCounters(); sc != nil {
+		sample.Strategy = sc
+		row += "  " + sc.String()
+	}
 	return StreamReport{Result: res, Done: done, Sample: sample, Row: row}
 }
 
@@ -97,7 +105,10 @@ func (d *Deployment) streamReport(kind string, spec workload.StreamSpec, res wor
 func StreamingRun(seed int64, cfg StreamRunConfig) (StreamReport, *trace.Tracer) {
 	spec := streamDefaults(cfg.Spec)
 	budget := streamBudget(spec)
-	d := Grid(10, 10, GridSpacing, Options{Seed: seed, Core: chaosConfig(0)})
+	cc := chaosConfig(0)
+	cc.Routing = cfg.Routing
+	cc.Caching = cfg.Caching
+	d := Grid(10, 10, GridSpacing, Options{Seed: seed, Core: cc})
 	consumer := CenterID(10, 10)
 	d.Pin(consumer)
 	producer := wire.NodeID(1)
@@ -130,6 +141,10 @@ type CrowdRunConfig struct {
 	// Trace attaches an event tracer (TraceCap bounds per-node rings).
 	Trace    bool
 	TraceCap int
+	// Routing / Caching select registered strategies for every peer;
+	// empty keeps the node defaults (and byte-identical rows).
+	Routing string
+	Caching string
 }
 
 // CrowdReport is one finished flash-crowd run.
@@ -151,7 +166,10 @@ type CrowdReport struct {
 // returned tracer is non-nil iff cfg.Trace.
 func FlashCrowdRun(seed int64, cfg CrowdRunConfig) (CrowdReport, *trace.Tracer) {
 	spec := crowdDefaults(cfg.Spec)
-	d := Grid(10, 10, GridSpacing, Options{Seed: seed, Core: chaosConfig(0)})
+	cc := chaosConfig(0)
+	cc.Routing = cfg.Routing
+	cc.Caching = cfg.Caching
+	d := Grid(10, 10, GridSpacing, Options{Seed: seed, Core: cc})
 	producer := wire.NodeID(1)
 	// One retrieval session per (node, item) key: duplicate client nodes
 	// would collide on the shared base layer, so the grid caps clients.
@@ -203,6 +221,10 @@ func (d *Deployment) crowdReport(kind string, clients int, res workload.CrowdRes
 	row := fmt.Sprintf("%s seed=%d recall=%.4f latency=%s overhead=%s rounds=%.1f done=%v clients=%d/%d  %s",
 		kind, d.seed, recall, metrics.Seconds(res.MeanCompletion), metrics.MB(tx),
 		res.Rounds, done, res.ClientsComplete, clients, q.String())
+	if sc := d.StrategyCounters(); sc != nil {
+		sample.Strategy = sc
+		row += "  " + sc.String()
+	}
 	return CrowdReport{Result: res, Done: done, Sample: sample, Row: row}
 }
 

@@ -72,8 +72,7 @@ func (s *DataStore) Recover(now, entryTTL time.Duration) {
 	s.spilled = make(map[string]bool)
 	s.cachedBytes = 0
 	s.cacheOrder = nil
-	s.lastAccess = nil
-	s.accessCount = nil
+	s.cache.Reset()
 	s.chunkIndex = make(map[string]map[int]string)
 	if s.backend == nil {
 		return

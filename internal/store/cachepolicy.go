@@ -1,11 +1,19 @@
 package store
 
+import (
+	"fmt"
+
+	"pds/internal/strategy"
+)
+
 // CachePolicy selects the eviction strategy for cached (non-owned)
 // payloads when the cache budget is exceeded. The paper leaves chunk
 // caching strategy as future work (§VII: "we plan to study proper data
 // chunk caching strategies based on their popularity and devices'
-// resource availability"); this implements the obvious candidates so
-// the ablation benches can compare them.
+// resource availability"); the obvious candidates are implemented as
+// cache strategies in internal/strategy and this enum remains as the
+// legacy selector for them (the strategy registry accepts more, e.g.
+// "opportunistic" — install those with SetCacheStrategy).
 type CachePolicy uint8
 
 const (
@@ -18,7 +26,8 @@ const (
 	EvictLFU
 )
 
-// String returns the policy name.
+// String returns the policy name, which doubles as the strategy
+// registry name.
 func (p CachePolicy) String() string {
 	switch p {
 	case EvictLRU:
@@ -30,59 +39,52 @@ func (p CachePolicy) String() string {
 	}
 }
 
-// SetCachePolicy selects the eviction strategy; it only affects future
-// evictions.
-func (s *DataStore) SetCachePolicy(p CachePolicy) { s.policy = p }
-
-// touch records an access to a cached payload for LRU/LFU accounting.
-func (s *DataStore) touch(key string) {
-	if s.policy == EvictFIFO {
-		return
+// SetCachePolicy selects the eviction strategy by the legacy enum; it
+// only affects future evictions. Access state already accumulated is
+// dropped (policies never shared it meaningfully anyway).
+func (s *DataStore) SetCachePolicy(p CachePolicy) {
+	cs, err := strategy.NewCaching(p.String(), 0)
+	if err != nil {
+		panic(fmt.Sprintf("store: builtin cache policy missing from registry: %v", err))
 	}
-	s.accessClock++
-	if s.lastAccess == nil {
-		s.lastAccess = make(map[string]uint64)
-		s.accessCount = make(map[string]uint64)
-	}
-	s.lastAccess[key] = s.accessClock
-	s.accessCount[key]++
+	s.cache = cs
 }
 
+// SetCacheStrategy installs a cache strategy instance (admission +
+// eviction; see strategy.CacheStrategy). It only affects future
+// insertions and evictions.
+func (s *DataStore) SetCacheStrategy(cs strategy.CacheStrategy) {
+	if cs == nil {
+		s.SetCachePolicy(EvictFIFO)
+		return
+	}
+	s.cache = cs
+}
+
+// CacheStrategyName returns the name of the installed cache strategy.
+func (s *DataStore) CacheStrategyName() string { return s.cache.Name() }
+
+// CacheCounters returns the installed cache strategy's bookkeeping.
+func (s *DataStore) CacheCounters() strategy.CacheCounters { return s.cache.Counters() }
+
+// touch records an access to a cached payload for LRU/LFU accounting.
+func (s *DataStore) touch(key string) { s.cache.Touch(key) }
+
 // victim returns the cache-order index of the payload to evict next
-// under the current policy, or -1 when nothing is evictable.
+// under the current strategy, or -1 when nothing is evictable.
 func (s *DataStore) victim() int {
 	if len(s.cacheOrder) == 0 {
 		return -1
 	}
-	switch s.policy {
-	case EvictLRU:
-		best, bestAt := 0, ^uint64(0)
-		for i, key := range s.cacheOrder {
-			at := s.lastAccess[key] // zero (never accessed) evicts first
-			if at < bestAt {
-				best, bestAt = i, at
-			}
-		}
-		return best
-	case EvictLFU:
-		best, bestCount := 0, ^uint64(0)
-		for i, key := range s.cacheOrder {
-			c := s.accessCount[key]
-			if c < bestCount {
-				best, bestCount = i, c
-			}
-		}
-		return best
-	default:
-		return 0 // FIFO: oldest insertion
-	}
+	return s.cache.Victim(s.cacheOrder)
 }
 
 // evictOne removes one cached payload from RAM according to the
-// policy; it reports whether anything was removed. With a backend
+// strategy; it reports whether anything was removed. With a backend
 // holding a durable copy, the eviction is a spill: the bytes leave RAM
-// but the entry keeps serving through disk reads, so the policy decides
-// what leaves memory while the backend decides where bytes survive.
+// but the entry keeps serving through disk reads, so the strategy
+// decides what leaves memory while the backend decides where bytes
+// survive.
 func (s *DataStore) evictOne() bool {
 	i := s.victim()
 	if i < 0 {
@@ -100,7 +102,6 @@ func (s *DataStore) evictOne() bool {
 			s.unindexChunk(e.Desc)
 		}
 	}
-	delete(s.lastAccess, key)
-	delete(s.accessCount, key)
+	s.cache.Forget(key)
 	return true
 }

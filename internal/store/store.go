@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pds/internal/attr"
+	"pds/internal/strategy"
 	"pds/internal/trace"
 )
 
@@ -46,11 +47,9 @@ type DataStore struct {
 	// the chunks of each item whose payload this node holds. CDI
 	// responses are built from it.
 	chunkIndex map[string]map[int]string
-	// policy selects the cache-eviction strategy (see cachepolicy.go).
-	policy      CachePolicy
-	accessClock uint64
-	lastAccess  map[string]uint64
-	accessCount map[string]uint64
+	// cache is the admission/eviction strategy (see cachepolicy.go and
+	// internal/strategy); never nil — NewDataStore installs FIFO.
+	cache strategy.CacheStrategy
 	// backend is the optional durable tier (see backend.go); nil keeps
 	// the store purely in-memory, byte-for-byte the seed's behavior.
 	backend PayloadBackend
@@ -74,7 +73,7 @@ func (s *DataStore) SetTracer(tr *trace.NodeTracer) {
 // NewDataStore returns an empty store. cacheCap bounds cached payload
 // bytes (0 = unlimited).
 func NewDataStore(cacheCap int) *DataStore {
-	return &DataStore{
+	s := &DataStore{
 		entries:    make(map[string]Entry),
 		payloads:   make(map[string][]byte),
 		ownedKeys:  make(map[string]bool),
@@ -82,6 +81,8 @@ func NewDataStore(cacheCap int) *DataStore {
 		cacheCap:   cacheCap,
 		chunkIndex: make(map[string]map[int]string),
 	}
+	s.SetCachePolicy(EvictFIFO)
+	return s
 }
 
 // PutOwned inserts an entry for data this node produced; it never
@@ -268,6 +269,12 @@ func (s *DataStore) PutPayloadCached(d attr.Descriptor, payload []byte, now, exp
 	if s.cacheCap > 0 && len(payload) > s.cacheCap {
 		return false
 	}
+	if !s.cache.Admit(key) {
+		// The admission gate declined the slot (e.g. opportunistic
+		// placement caching a per-node half of passing traffic); the
+		// payload is simply not cached here.
+		return false
+	}
 	if s.cacheCap > 0 && s.cachedBytes+len(payload) > s.cacheCap {
 		s.purgeExpired(now)
 	}
@@ -310,8 +317,7 @@ func (s *DataStore) purgeExpired(now time.Duration) {
 			s.unindexChunk(e.Desc)
 			delete(s.entries, key)
 		}
-		delete(s.lastAccess, key)
-		delete(s.accessCount, key)
+		s.cache.Forget(key)
 		if s.backend != nil {
 			s.backend.DeletePayload(key)
 		}
@@ -332,8 +338,7 @@ func (s *DataStore) purgeExpired(now time.Duration) {
 		}
 		s.backend.DeletePayload(key)
 		delete(s.spilled, key)
-		delete(s.lastAccess, key)
-		delete(s.accessCount, key)
+		s.cache.Forget(key)
 	}
 }
 
@@ -381,6 +386,28 @@ func (s *DataStore) MatchPayloads(q attr.Query, now time.Duration) []attr.Descri
 	return out
 }
 
+// OwnedItemKeys returns the sorted item-level keys of the data this
+// node produced or fully holds (chunk keys roll up to their item's
+// key) — the content set that advertisement-based routing strategies
+// flood.
+func (s *DataStore) OwnedItemKeys() []string {
+	seen := make(map[string]bool, len(s.ownedKeys))
+	keys := make([]string, 0, len(s.ownedKeys))
+	for k := range s.ownedKeys {
+		e, ok := s.entries[k]
+		if !ok {
+			continue
+		}
+		ik := e.Desc.ItemDescriptor().Key()
+		if !seen[ik] {
+			seen[ik] = true
+			keys = append(keys, ik)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // DeleteOwned removes an owned payload and its entry — the producer
 // deleting its data (§II-A "data ... deleted").
 func (s *DataStore) DeleteOwned(d attr.Descriptor) {
@@ -414,8 +441,7 @@ func (s *DataStore) WipeCached() {
 	}
 	s.cachedBytes = 0
 	s.cacheOrder = nil
-	s.lastAccess = nil
-	s.accessCount = nil
+	s.cache.Reset()
 	s.spilled = make(map[string]bool)
 	if s.backend != nil {
 		s.backend.WipeCached()

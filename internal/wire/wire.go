@@ -62,12 +62,16 @@ func (t MessageType) String() string {
 type QueryKind uint8
 
 // Query kinds: metadata discovery (PDD), small data items, chunk
-// distribution information (PDR phase 1) and data chunks (PDR phase 2).
+// distribution information (PDR phase 1), data chunks (PDR phase 2)
+// and content advertisements (strategy plane: Bloom filters of a
+// producer's item keys, flooded by advertisement-based routing
+// strategies; see internal/strategy).
 const (
 	KindMetadata QueryKind = iota + 1
 	KindData
 	KindCDI
 	KindChunk
+	KindAdvert
 )
 
 // String returns the lowercase name of the query kind.
@@ -81,6 +85,8 @@ func (k QueryKind) String() string {
 		return "cdi"
 	case KindChunk:
 		return "chunk"
+	case KindAdvert:
+		return "advert"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

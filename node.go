@@ -12,8 +12,10 @@ import (
 	"pds/internal/core"
 	"pds/internal/diskstore"
 	"pds/internal/link"
+	"pds/internal/metrics"
 	"pds/internal/origin"
 	"pds/internal/store"
+	"pds/internal/strategy"
 	"pds/internal/trace"
 	"pds/internal/tracker"
 	"pds/internal/wire"
@@ -80,6 +82,9 @@ type nodeOptions struct {
 	announceEvery  time.Duration
 	origin         PayloadBackend
 	p2pShare       int
+
+	routing string
+	caching string
 }
 
 // WithNodeID sets the node id; default is randomly drawn. IDs must be
@@ -171,6 +176,20 @@ func NewHTTPOrigin(baseURL string, timeout time.Duration) PayloadBackend {
 	return origin.NewHTTP(baseURL, timeout)
 }
 
+// WithStrategies selects the node's routing and caching strategies by
+// registry name (RoutingStrategies / CachingStrategies list them); an
+// empty name keeps that plane's default. Applied after WithConfig, so
+// the two options compose in either order.
+func WithStrategies(routing, caching string) NodeOption {
+	return func(o *nodeOptions) { o.routing = routing; o.caching = caching }
+}
+
+// RoutingStrategies lists the registered routing strategy names.
+func RoutingStrategies() []string { return strategy.RoutingNames() }
+
+// CachingStrategies lists the registered caching strategy names.
+func CachingStrategies() []string { return strategy.CachingNames() }
+
 // WithP2PShare sets the percentage (1..99) of a tiered retrieval's
 // time budget spent in the P2P tier before escalating to edge peers
 // and the origin; default 50. Only meaningful when a later tier
@@ -194,6 +213,18 @@ func NewNode(trans Transport, opts ...NodeOption) (*Node, error) {
 	}
 	if o.cacheCap > 0 {
 		o.cfg.CacheCap = o.cacheCap
+	}
+	if o.routing != "" {
+		if !containsName(strategy.RoutingNames(), o.routing) {
+			return nil, fmt.Errorf("pds: unknown routing strategy %q (have %v)", o.routing, strategy.RoutingNames())
+		}
+		o.cfg.Routing = o.routing
+	}
+	if o.caching != "" {
+		if !containsName(strategy.CachingNames(), o.caching) {
+			return nil, fmt.Errorf("pds: unknown caching strategy %q (have %v)", o.caching, strategy.CachingNames())
+		}
+		o.cfg.Caching = o.caching
 	}
 	clk := clock.NewReal()
 	n := &Node{id: o.id, clk: clk, trans: trans}
@@ -421,6 +452,38 @@ func (n *Node) Stats() core.Stats {
 	var s core.Stats
 	n.clk.Locked(func() { s = n.core.Stats() })
 	return s
+}
+
+// StrategyStats returns the active routing/caching strategy names and
+// their bookkeeping counters. Always available — nodes running the
+// defaults report "cdi"/"fifo" with zero counters.
+func (n *Node) StrategyStats() metrics.StrategyCounters {
+	var out metrics.StrategyCounters
+	n.clk.Locked(func() {
+		rc := n.core.RoutingCounters()
+		cc := n.core.CacheCounters()
+		out = metrics.StrategyCounters{
+			Routing:         n.core.RoutingName(),
+			Caching:         n.core.CachingName(),
+			AdvertFloods:    rc.AdvertFloods,
+			AdvertsHeld:     rc.AdvertsHeld,
+			FreqEntries:     rc.FreqEntries,
+			RouteOverrides:  rc.RouteOverrides,
+			FallbackRoutes:  rc.FallbackRoutes,
+			CacheAdmitSkips: cc.AdmitSkips,
+		}
+	})
+	return out
+}
+
+// containsName reports whether names contains n.
+func containsName(names []string, n string) bool {
+	for _, v := range names {
+		if v == n {
+			return true
+		}
+	}
+	return false
 }
 
 // LocalEntries lists the metadata entries currently in this node's
