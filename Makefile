@@ -11,14 +11,16 @@ test:
 	$(GO) test ./...
 
 # lint runs the static-analysis gate: the repo's own invariant
-# analyzers (cmd/pds-lint — frozen messages, determinism, tracer
-# hygiene, lock/send ordering; see DESIGN.md §11), a gofmt check, and —
-# when the binary is installed — golangci-lint with the pinned
-# .golangci.yml. Findings are suppressed only by an audited
-# `//lint:allow <analyzer> <reason>` comment; pds-lint prints every
-# suppression so the zero-findings state stays reviewable.
+# analyzers (cmd/pds-lint — frozen messages, determinism, hot-path
+# allocations, goroutine supervision, tracer hygiene, lock/send
+# ordering; see DESIGN.md §12/§17), a gofmt check, and — when the
+# binary is installed — golangci-lint with the pinned .golangci.yml.
+# Findings are suppressed only by an audited `//lint:allow <analyzer>
+# <reason>` comment; pds-lint prints every suppression and the
+# per-analyzer wall times, and -budget fails the run outright if the
+# whole sweep takes over a minute (a slow analyzer is a regression).
 lint:
-	$(GO) run ./cmd/pds-lint ./...
+	$(GO) run ./cmd/pds-lint -budget 60s ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	@if command -v golangci-lint >/dev/null 2>&1; then \

@@ -6,22 +6,28 @@
 //
 // Usage:
 //
-//	pds-lint [-tests] [-json report.json] [patterns ...]
+//	pds-lint [-tests] [-format text|json|sarif] [-json report.json]
+//	         [-sarif report.sarif] [-budget 60s] [patterns ...]
 //
 // Patterns default to ./... resolved against the module root. Exit
-// status is 1 when any unsuppressed finding remains, 2 on usage or load
-// errors. Suppressions (//lint:allow <analyzer> <reason>) are counted
-// and printed so the zero-findings state is auditable, not assumed.
+// status is 1 when any unsuppressed finding remains (stale //lint:allow
+// directives count) or the -budget wall-time gate is blown, 2 on usage
+// or load errors. Suppressions (//lint:allow <analyzer> <reason>) are
+// counted and printed so the zero-findings state is auditable, not
+// assumed, and per-analyzer wall times are always reported so a slow
+// analyzer is caught by inspection before it trips the budget.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"pds/internal/lint"
 )
@@ -55,11 +61,21 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("pds-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	includeTests := fs.Bool("tests", false, "also analyze _test.go files of each package")
+	format := fs.String("format", "text", "stdout format: text, json (annotation report) or sarif (SARIF 2.1.0)")
 	jsonOut := fs.String("json", "", "write an annotation-friendly JSON report to this file (\"-\" for stdout)")
+	sarifOut := fs.String("sarif", "", "write a SARIF 2.1.0 report to this file (\"-\" for stdout)")
+	budget := fs.Duration("budget", 0, "fail if the whole run (load + analyze) exceeds this wall time; 0 disables")
 	quiet := fs.Bool("q", false, "suppress the per-suppression detail lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "pds-lint: unknown -format %q (want text, json or sarif)\n", *format)
+		return 2
+	}
+	start := time.Now()
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -101,25 +117,28 @@ func run(args []string, stdout, stderr *os.File) int {
 		return p
 	}
 
+	// In json/sarif stdout mode the document owns stdout; the human
+	// lines move to stderr so the output stays machine-parseable.
+	text := io.Writer(stdout)
+	if *format != "text" {
+		text = stderr
+	}
+
 	unsup := res.Unsuppressed()
 	for _, f := range unsup {
 		section := ""
 		if f.Section != "" {
 			section = fmt.Sprintf(" (enforces %s)", f.Section)
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s%s\n",
+		fmt.Fprintf(text, "%s:%d:%d: [%s] %s%s\n",
 			rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message, section)
 	}
 
 	sup := res.Suppressed()
 	if !*quiet {
 		for _, f := range sup {
-			fmt.Fprintf(stdout, "%s:%d: [%s] suppressed: %s — allowed: %s\n",
+			fmt.Fprintf(text, "%s:%d: [%s] suppressed: %s — allowed: %s\n",
 				rel(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message, f.Reason)
-		}
-		for _, d := range res.Unused {
-			fmt.Fprintf(stdout, "%s:%d: warning: unused //lint:allow %s (%s)\n",
-				rel(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Reason)
 		}
 	}
 
@@ -131,10 +150,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	for _, f := range sup {
 		supByAnalyzer[f.Analyzer]++
 	}
-	fmt.Fprintf(stdout, "pds-lint: %d packages, %d findings, %d suppressed (%s)\n",
+	elapsed := time.Since(start)
+	fmt.Fprintf(text, "pds-lint: timings: %s; total %v (load + analyze)\n",
+		timingSummary(res.Timings), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(text, "pds-lint: %d packages, %d findings, %d suppressed (%s)\n",
 		len(pkgs), len(unsup), len(sup), suppressionSummary(supByAnalyzer))
 
-	if *jsonOut != "" {
+	if *jsonOut != "" || *format == "json" {
 		rep := report{Summary: byAnalyzer, Suppression: supByAnalyzer}
 		for _, f := range unsup {
 			rep.Findings = append(rep.Findings, reportFinding{
@@ -154,24 +176,67 @@ func run(args []string, stdout, stderr *os.File) int {
 				Analyzer: d.Analyzer, Reason: d.Reason,
 			})
 		}
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(stderr, "pds-lint: encoding report: %v\n", err)
-			return 2
+		dest := *jsonOut
+		if dest == "" {
+			dest = "-"
 		}
-		data = append(data, '\n')
-		if *jsonOut == "-" {
-			stdout.Write(data)
-		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-			fmt.Fprintf(stderr, "pds-lint: writing report: %v\n", err)
+		if err := writeDoc(rep, dest, stdout); err != nil {
+			fmt.Fprintf(stderr, "pds-lint: %v\n", err)
 			return 2
 		}
 	}
 
-	if len(unsup) > 0 {
-		return 1
+	if *sarifOut != "" || *format == "sarif" {
+		doc := buildSARIF(res, lint.All(), rel)
+		dest := *sarifOut
+		if dest == "" {
+			dest = "-"
+		}
+		if err := writeDoc(doc, dest, stdout); err != nil {
+			fmt.Fprintf(stderr, "pds-lint: %v\n", err)
+			return 2
+		}
 	}
-	return 0
+
+	code := 0
+	if len(unsup) > 0 {
+		code = 1
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(stderr, "pds-lint: run took %v, over the %v budget — profile the analyzers (timings above) before raising it\n",
+			elapsed.Round(time.Millisecond), *budget)
+		code = 1
+	}
+	return code
+}
+
+// writeDoc marshals v as indented JSON to dest ("-" for stdout).
+func writeDoc(v any, dest string, stdout io.Writer) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding report: %w", err)
+	}
+	data = append(data, '\n')
+	if dest == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(dest, data, 0o644); err != nil {
+		return fmt.Errorf("writing report: %w", err)
+	}
+	return nil
+}
+
+// timingSummary renders per-analyzer wall times in run order.
+func timingSummary(ts []lint.AnalyzerTiming) string {
+	parts := make([]string, 0, len(ts))
+	for _, t := range ts {
+		parts = append(parts, fmt.Sprintf("%s %v", t.Analyzer, t.Elapsed.Round(time.Millisecond)))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
 }
 
 func suppressionSummary(m map[string]int) string {

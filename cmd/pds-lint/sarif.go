@@ -1,0 +1,132 @@
+package main
+
+import (
+	"pds/internal/lint"
+)
+
+// SARIF 2.1.0 output, the format GitHub code scanning ingests: one run,
+// one reportingDescriptor per analyzer, one result per finding.
+// Suppressed findings are emitted too, carrying an inSource suppression
+// with the audited //lint:allow justification — code scanning then
+// shows them as dismissed-with-reason instead of silently absent, which
+// keeps the zero-findings state auditable from the CI UI alone.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string         `json:"id"`
+	ShortDescription sarifText      `json:"shortDescription"`
+	FullDescription  *sarifText     `json:"fullDescription,omitempty"`
+	Properties       map[string]any `json:"properties,omitempty"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// buildSARIF converts a lint result into a SARIF log. rel maps absolute
+// file paths to repo-relative URIs.
+func buildSARIF(res *lint.Result, analyzers []*lint.Analyzer, rel func(string) string) *sarifLog {
+	driver := sarifDriver{Name: "pds-lint"}
+	index := make(map[string]int)
+	addRule := func(id, short, full, section string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		r := sarifRule{ID: id, ShortDescription: sarifText{Text: short}}
+		if full != "" {
+			r.FullDescription = &sarifText{Text: full}
+		}
+		if section != "" {
+			r.Properties = map[string]any{"section": section}
+		}
+		index[id] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, r)
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc, "", a.Section)
+	}
+	addRule("lintdirective",
+		"flags malformed and stale //lint:allow suppression directives",
+		"", "DESIGN.md §12 (static analysis & enforced invariants)")
+
+	run := sarifRun{Results: []sarifResult{}}
+	for _, f := range res.Findings {
+		// Findings from analyzers outside the passed set (none today)
+		// still need a rule row; synthesize one from the finding.
+		addRule(f.Analyzer, "", "", f.Section)
+		r := sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: index[f.Analyzer],
+			Level:     "error",
+			Message:   sarifText{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: rel(f.Pos.Filename), URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		}
+		if f.Suppressed {
+			r.Level = "note"
+			r.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.Reason}}
+		}
+		run.Results = append(run.Results, r)
+	}
+	run.Tool = sarifTool{Driver: driver}
+	return &sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+}

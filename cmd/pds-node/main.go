@@ -33,6 +33,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -166,8 +167,8 @@ func run(args []string) error {
 	}
 
 	if *debugAddr != "" {
-		srv := debugServer(*debugAddr, node)
-		defer srv.Close()
+		stop := debugServer(*debugAddr, node)
+		defer stop()
 		fmt.Printf("debug endpoint on http://%s/debug/\n", *debugAddr)
 	}
 
@@ -205,7 +206,15 @@ func run(args []string) error {
 				off = end
 			}
 			osrv := &http.Server{Addr: *originListen, Handler: origin.Handler(st)}
-			go osrv.ListenAndServe()
+			var owg sync.WaitGroup
+			owg.Add(1)
+			go func() {
+				defer owg.Done()
+				if err := osrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+					fmt.Fprintln(os.Stderr, "pds-node: origin endpoint:", err)
+				}
+			}()
+			defer owg.Wait()
 			defer osrv.Close()
 			fmt.Printf("origin serving %d chunks on http://%s/\n", desc.TotalChunks(), *originListen)
 		}
@@ -290,8 +299,9 @@ func run(args []string) error {
 // node's protocol counters published under "pds_stats", and the
 // strategy plane's names and counters under "pds_strategy"), the pprof
 // profiles, and /debug/trace streaming the tracer's buffered events as
-// JSONL — the same format pds-trace analyzes.
-func debugServer(addr string, node *pds.Node) *http.Server {
+// JSONL — the same format pds-trace analyzes. The returned stop func
+// closes the listener and joins the serve goroutine.
+func debugServer(addr string, node *pds.Node) func() {
 	expvar.Publish("pds_stats", expvar.Func(func() any { return node.Stats() }))
 	expvar.Publish("pds_strategy", expvar.Func(func() any { return node.StrategyStats() }))
 	if _, ok := node.DiskStats(); ok {
@@ -314,12 +324,18 @@ func debugServer(addr string, node *pds.Node) *http.Server {
 		}
 	})
 	srv := &http.Server{Addr: addr, Handler: mux}
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "pds-node: debug endpoint:", err)
 		}
 	}()
-	return srv
+	return func() {
+		srv.Close()
+		wg.Wait()
+	}
 }
 
 func parseLoopback(listen, peers string) (int, []int, error) {

@@ -216,12 +216,20 @@ func (d Descriptor) AppendBinary(dst []byte) []byte {
 
 // EncodedSize returns the number of bytes AppendBinary would write.
 // Like AppendBinary it reads the memoized key, so the simulator can
-// charge airtime per descriptor without serializing anything.
+// charge airtime per descriptor without serializing anything; the
+// no-key fallback sums sizes analytically rather than encoding.
+//
+//pds:hotpath
 func (d Descriptor) EncodedSize() int {
+	n := uvarintLen(uint64(len(d.attrs)))
 	if d.key != "" || len(d.attrs) == 0 {
-		return uvarintLen(uint64(len(d.attrs))) + len(d.key)
+		return n + len(d.key)
 	}
-	return len(d.AppendBinary(nil))
+	for _, name := range d.Names() {
+		n += uvarintLen(uint64(len(name))) + len(name)
+		n += d.attrs[name].encodedSize()
+	}
+	return n
 }
 
 // uvarintLen returns the encoded length of v as a uvarint.
@@ -232,6 +240,15 @@ func uvarintLen(v uint64) int {
 		n++
 	}
 	return n
+}
+
+// varintLen returns the encoded length of v as a zig-zag varint.
+func varintLen(v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return uvarintLen(uv)
 }
 
 // DecodeDescriptor decodes a descriptor encoded by AppendBinary and

@@ -180,6 +180,21 @@ func (p Predicate) appendBinary(dst []byte) []byte {
 	return dst
 }
 
+// encodedSize returns the number of bytes appendBinary would append.
+//
+//pds:hotpath
+func (p Predicate) encodedSize() int {
+	n := uvarintLen(uint64(len(p.Attr))) + len(p.Attr) + 1 // name, rel
+	switch p.Rel {
+	case RelExists, RelNotExists:
+	case RelInRange:
+		n += p.Value.encodedSize() + p.Hi.encodedSize()
+	default:
+		n += p.Value.encodedSize()
+	}
+	return n
+}
+
 // decodePredicate decodes a predicate encoded by appendBinary.
 func decodePredicate(src []byte) (Predicate, []byte, error) {
 	nameLen, used := binary.Uvarint(src)
@@ -257,6 +272,19 @@ func (q Query) AppendBinary(dst []byte) []byte {
 		dst = p.appendBinary(dst)
 	}
 	return dst
+}
+
+// EncodedSize returns the number of bytes AppendBinary would append,
+// without serializing; the simulator charges per-message airtime from
+// it on every transmission.
+//
+//pds:hotpath
+func (q Query) EncodedSize() int {
+	n := uvarintLen(uint64(len(q.Predicates)))
+	for _, p := range q.Predicates {
+		n += p.encodedSize()
+	}
+	return n
 }
 
 // DecodeQuery decodes a query encoded by AppendBinary and returns the

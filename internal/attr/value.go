@@ -182,6 +182,22 @@ func (v Value) appendBinary(dst []byte) []byte {
 	return dst
 }
 
+// encodedSize returns the number of bytes appendBinary would append.
+//
+//pds:hotpath
+func (v Value) encodedSize() int {
+	n := 1 // kind byte
+	switch v.kind {
+	case KindString:
+		n += uvarintLen(uint64(len(v.s))) + len(v.s)
+	case KindInt, KindTime:
+		n += varintLen(v.i)
+	case KindFloat:
+		n += 8
+	}
+	return n
+}
+
 // decodeValue decodes a value encoded by appendBinary and returns the
 // remaining bytes.
 func decodeValue(src []byte) (Value, []byte, error) {

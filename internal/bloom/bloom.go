@@ -190,7 +190,22 @@ func (f *Filter) Clone() *Filter {
 // EncodedSize returns the number of bytes AppendBinary writes. The byte
 // cost of carrying the filter inside query messages is charged to the
 // message-overhead metric.
-func (f *Filter) EncodedSize() int { return len(f.AppendBinary(nil)) }
+//
+//pds:hotpath
+func (f *Filter) EncodedSize() int {
+	return uvarintLen(f.nbits) + uvarintLen(uint64(f.nhashes)) +
+		uvarintLen(f.salt) + uvarintLen(f.count) + len(f.bits)
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
 
 // AppendBinary appends the wire form: nbits, nhashes, salt, count, table.
 func (f *Filter) AppendBinary(dst []byte) []byte {

@@ -355,10 +355,14 @@ func (n *Node) notifyDiscovery(r *wire.Response, now time.Duration) {
 	case wire.KindMetadata:
 		descs = r.Entries
 	case wire.KindData:
-		descs = make([]attr.Descriptor, len(r.Blobs))
+		// Collected into a variable distinct from descs: descs also
+		// holds a frozen r.Entries alias on the metadata path, and the
+		// frozenmsg dataflow engine is deliberately flow-insensitive.
+		fresh := make([]attr.Descriptor, len(r.Blobs))
 		for i, b := range r.Blobs {
-			descs[i] = b.Desc
+			fresh[i] = b.Desc
 		}
+		descs = fresh
 	default:
 		return
 	}

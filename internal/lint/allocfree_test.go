@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAllocFreeFixture(t *testing.T) {
+	RunFixture(t, AllocFree, "testdata/allocfree")
+}

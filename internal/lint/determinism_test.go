@@ -54,3 +54,38 @@ func TestDeterminismScope(t *testing.T) {
 		}
 	}
 }
+
+// TestDeterminismGraphScope exercises the computed scope: with a call
+// graph present, only packages reachable from the scenario/sim roots
+// stay in scope, and the static exemptions still subtract from that.
+func TestDeterminismGraphScope(t *testing.T) {
+	g := &CallGraph{
+		edges: map[string][]string{
+			"pds/internal/scenario": {"pds/internal/sim", "pds/internal/core"},
+			"pds/internal/sim":      {"pds/internal/clock"},
+			"pds/internal/core":     {"pds/internal/wire", "pds/internal/diskstore"},
+			// qoe is loaded but nothing on the sim side calls it.
+			"pds/internal/qoe": {"pds/internal/metrics"},
+		},
+		reach: make(map[string]map[string]bool),
+	}
+	r := g.Reachable(determinismRoots)
+	for _, want := range []string{
+		"pds/internal/scenario", "pds/internal/sim",
+		"pds/internal/core", "pds/internal/wire", "pds/internal/clock",
+	} {
+		if !r[want] {
+			t.Errorf("Reachable: %s missing from the scenario/sim cone", want)
+		}
+	}
+	for _, stray := range []string{"pds/internal/qoe", "pds/internal/metrics"} {
+		if r[stray] {
+			t.Errorf("Reachable: %s should not be in the scenario/sim cone", stray)
+		}
+	}
+	// Reachability widens coverage, never the exemptions: diskstore is
+	// reachable yet stays out via the static allowlist.
+	if determinismScoped("pds/internal/diskstore", "diskstore") {
+		t.Error("diskstore must stay exempt even though it is reachable")
+	}
+}

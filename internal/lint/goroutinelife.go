@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLife enforces the deployment plane's goroutine discipline
+// (DESIGN.md §13): every goroutine started in internal/face,
+// internal/tracker or cmd/pds-node must flow into a supervision
+// pattern so shutdown can join it — the leak class the chaos tests
+// only catch dynamically, caught here at the go statement.
+//
+// A go statement passes when the analyzer finds at least one of:
+//
+//   - WaitGroup: an Add call on a sync.WaitGroup earlier in the
+//     starting function, and a Done on a sync.WaitGroup inside the
+//     goroutine's body (a function literal, or a same-package
+//     function/method resolved one call level deep);
+//   - context cancellation: the goroutine body selects on
+//     ctx.Done() (a Done call on a context.Context);
+//   - done channel: the goroutine body receives from a chan struct{}.
+//
+// Anything else — most classically go srv.ListenAndServe() — leaks on
+// shutdown and is reported.
+var GoroutineLife = &Analyzer{
+	Name:    "goroutinelife",
+	Doc:     "requires every go statement in face/tracker/pds-node to flow into a WaitGroup, ctx.Done or done-channel supervision pattern",
+	Section: "DESIGN.md §13 (deployment plane: faces, tracker, tiered fallback)",
+	Run:     runGoroutineLife,
+}
+
+var goroutineLifeSuffixes = []string{
+	"/internal/face", "/internal/tracker", "/cmd/pds-node",
+	"fixture/goroutinelife",
+}
+
+func goroutineLifeScoped(path string) bool {
+	for _, suf := range goroutineLifeSuffixes {
+		if strings.HasSuffix(path, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoroutineLife(p *Pass) {
+	if !goroutineLifeScoped(p.Pkg.Path) {
+		return
+	}
+	// Resolve same-package function bodies so a target like
+	// go m.acceptLoop(ln) is checked one call level deep.
+	bodies := make(map[*types.Func]*ast.BlockStmt)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					bodies[fn] = fd.Body
+				}
+			}
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoroutines(p, fd.Body, bodies)
+		}
+	}
+}
+
+func checkGoroutines(p *Pass, body *ast.BlockStmt, bodies map[*types.Func]*ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		target := goTargetBody(p.Pkg.Info, g, bodies)
+		supervised := false
+		if target != nil {
+			supervised = hasWGDone(p.Pkg.Info, target) && hasWGAddBefore(p.Pkg.Info, body, g.Pos()) ||
+				hasCtxDone(p.Pkg.Info, target) ||
+				hasDoneChanRecv(p.Pkg.Info, target)
+		}
+		if !supervised {
+			p.Reportf(g.Pos(), "unsupervised goroutine: flow it into a WaitGroup (Add before go, Done inside), a ctx.Done() select, or a chan struct{} done-channel so shutdown can join it")
+		}
+		return true
+	})
+}
+
+// goTargetBody resolves what the goroutine will run: a function
+// literal's body, or the body of a same-package function/method.
+func goTargetBody(info *types.Info, g *ast.GoStmt, bodies map[*types.Func]*ast.BlockStmt) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return bodies[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return bodies[fn]
+		}
+	}
+	return nil
+}
+
+// hasWGAddBefore reports an Add call on a sync.WaitGroup lexically
+// before pos in the starting function (the conventional Add-then-go
+// ordering; Add inside the goroutine races with Wait).
+func hasWGAddBefore(info *types.Info, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || found {
+			return !found
+		}
+		if isWaitGroupMethod(info, call, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func hasWGDone(info *types.Info, body *ast.BlockStmt) bool {
+	return containsCall(body, func(call *ast.CallExpr) bool {
+		return isWaitGroupMethod(info, call, "Done")
+	})
+}
+
+func hasCtxDone(info *types.Info, body *ast.BlockStmt) bool {
+	return containsCall(body, func(call *ast.CallExpr) bool {
+		recv, name, ok := methodCall(info, call)
+		if !ok || name != "Done" {
+			return false
+		}
+		pkg, tn, ok := receiverNamed(recv)
+		return ok && tn == "Context" && pkg != nil && pkg.Path() == "context"
+	})
+}
+
+// hasDoneChanRecv reports a receive from a chan struct{} — the
+// done-channel idiom (<-done, or a select case on it).
+func hasDoneChanRecv(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW || found {
+			return !found
+		}
+		t := info.TypeOf(ue.X)
+		if t == nil {
+			return true
+		}
+		ch, ok := t.Underlying().(*types.Chan)
+		if !ok {
+			return true
+		}
+		if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	recv, n, ok := methodCall(info, call)
+	if !ok || n != name {
+		return false
+	}
+	pkg, tn, ok := receiverNamed(recv)
+	return ok && tn == "WaitGroup" && pkg != nil && pkg.Path() == "sync"
+}
+
+func containsCall(body *ast.BlockStmt, match func(*ast.CallExpr) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && match(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,21 @@
+package lint
+
+import "testing"
+
+func TestGoroutineLifeFixture(t *testing.T) {
+	RunFixture(t, GoroutineLife, "testdata/goroutinelife")
+}
+
+func TestGoroutineLifeScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"pds/internal/face":    true,
+		"pds/internal/tracker": true,
+		"pds/cmd/pds-node":     true,
+		"pds/internal/core":    false,
+		"pds/internal/radio":   false,
+	} {
+		if got := goroutineLifeScoped(path); got != want {
+			t.Errorf("goroutineLifeScoped(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named invariant check. Run inspects a single package
@@ -29,7 +30,12 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	diags    *[]Diagnostic
+	// Graph is the package-level call graph over every package in the
+	// run, for analyzers that scope by reachability instead of path
+	// lists. Nil in single-package fixture runs — analyzers must fall
+	// back to their static scope rule.
+	Graph *CallGraph
+	diags *[]Diagnostic
 }
 
 // Reportf records a diagnostic at pos.
@@ -75,12 +81,25 @@ type Directive struct {
 // Result is the outcome of running analyzers over a set of packages.
 type Result struct {
 	// Findings holds every diagnostic, suppressed or not, sorted by
-	// position.
+	// position. Stale //lint:allow directives appear here too, as
+	// unsuppressed findings of the pseudo-analyzer "lintdirective": a
+	// suppression that matches nothing either marks dead cleanup or a
+	// directive that silently stopped guarding what it was written for,
+	// and both should fail the gate, not scroll past as a warning.
 	Findings []Finding
-	// Unused lists //lint:allow directives that matched no diagnostic —
-	// stale suppressions worth deleting (reported as warnings, not
-	// failures, so analyzer precision improvements don't break builds).
+	// Unused lists the same stale directives structurally, for report
+	// writers that want the parsed form rather than the finding text.
 	Unused []Directive
+	// Timings records each analyzer's cumulative wall time across every
+	// package, in analyzer order — the data behind the lint-runtime
+	// budget check.
+	Timings []AnalyzerTiming
+}
+
+// AnalyzerTiming is one analyzer's total wall time over a Run.
+type AnalyzerTiming struct {
+	Analyzer string
+	Elapsed  time.Duration
 }
 
 // Unsuppressed returns the findings not silenced by a directive.
@@ -107,6 +126,10 @@ func (r *Result) Suppressed() []Finding {
 
 var allowRE = regexp.MustCompile(`^//\s*lint:allow\s+(\S+)(?:\s+(.*))?$`)
 
+// directiveSection is the DESIGN.md contract behind the "lintdirective"
+// pseudo-analyzer (malformed and stale //lint:allow comments).
+const directiveSection = "DESIGN.md §12 (static analysis & enforced invariants)"
+
 // parseDirectives extracts //lint:allow directives from a package's
 // comments. Malformed directives (missing reason, unknown analyzer) are
 // returned as diagnostics of the pseudo-analyzer "lintdirective" so they
@@ -127,12 +150,14 @@ func parseDirectives(pkg *Package, known map[string]bool) ([]*Directive, []Diagn
 				case !known[name]:
 					bad = append(bad, Diagnostic{
 						Analyzer: "lintdirective",
+						Section:  directiveSection,
 						Pos:      pos,
 						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", name),
 					})
 				case reason == "":
 					bad = append(bad, Diagnostic{
 						Analyzer: "lintdirective",
+						Section:  directiveSection,
 						Pos:      pos,
 						Message:  fmt.Sprintf("//lint:allow %s has no reason; suppressions must be justified", name),
 					})
@@ -154,14 +179,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 		known[a.Name] = true
 	}
 
+	graph := BuildCallGraph(pkgs)
+	elapsed := make([]time.Duration, len(analyzers))
 	var diags []Diagnostic
 	var dirs []*Directive
 	for _, pkg := range pkgs {
 		d, bad := parseDirectives(pkg, known)
 		dirs = append(dirs, d...)
 		diags = append(diags, bad...)
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		for i, a := range analyzers {
+			start := time.Now()
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Graph: graph, diags: &diags})
+			elapsed[i] += time.Since(start)
 		}
 	}
 
@@ -194,10 +223,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 	for _, d := range dirs {
 		if !d.used {
 			res.Unused = append(res.Unused, *d)
+			res.Findings = append(res.Findings, Finding{Diagnostic: Diagnostic{
+				Analyzer: "lintdirective",
+				Section:  directiveSection,
+				Pos:      d.Pos,
+				Message: fmt.Sprintf("stale //lint:allow %s suppresses nothing; delete it, or it will silently excuse the next real %s violation here",
+					d.Analyzer, d.Analyzer),
+			}})
 		}
 	}
 	sort.Slice(res.Findings, func(i, j int) bool { return lessPos(res.Findings[i].Pos, res.Findings[j].Pos) })
 	sort.Slice(res.Unused, func(i, j int) bool { return lessPos(res.Unused[i].Pos, res.Unused[j].Pos) })
+	for i, a := range analyzers {
+		res.Timings = append(res.Timings, AnalyzerTiming{Analyzer: a.Name, Elapsed: elapsed[i]})
+	}
 	return res
 }
 

@@ -31,24 +31,31 @@ func TestSuppressionPipeline(t *testing.T) {
 	}
 
 	unsup := res.Unsuppressed()
-	// m.From, m.NoAck, m.Query writes plus two malformed directives.
-	if len(unsup) != 5 {
+	// m.From, m.NoAck, m.Query writes, two malformed directives, plus
+	// the stale directive surfaced as a lintdirective finding.
+	if len(unsup) != 6 {
 		for _, f := range unsup {
 			t.Logf("unsuppressed: %s:%d [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
 		}
-		t.Fatalf("unsuppressed findings = %d, want 5", len(unsup))
+		t.Fatalf("unsuppressed findings = %d, want 6", len(unsup))
 	}
-	var directiveFindings, frozenFindings int
+	var directiveFindings, frozenFindings, staleFindings int
 	for _, f := range unsup {
 		switch f.Analyzer {
 		case "lintdirective":
 			directiveFindings++
+			if strings.Contains(f.Message, "stale //lint:allow") {
+				staleFindings++
+			}
 		case "frozenmsg":
 			frozenFindings++
 		}
 	}
-	if directiveFindings != 2 || frozenFindings != 3 {
-		t.Errorf("finding split = %d directive / %d frozenmsg, want 2 / 3", directiveFindings, frozenFindings)
+	if directiveFindings != 3 || frozenFindings != 3 {
+		t.Errorf("finding split = %d directive / %d frozenmsg, want 3 / 3", directiveFindings, frozenFindings)
+	}
+	if staleFindings != 1 {
+		t.Errorf("stale-directive findings = %d, want 1", staleFindings)
 	}
 
 	if len(res.Unused) != 1 {
@@ -56,6 +63,16 @@ func TestSuppressionPipeline(t *testing.T) {
 	}
 	if !strings.Contains(res.Unused[0].Reason, "stale directive") {
 		t.Errorf("unused directive reason = %q, want the stale one", res.Unused[0].Reason)
+	}
+
+	// Every analyzer that ran gets a timing row, in analyzer order.
+	if len(res.Timings) != len(All()) {
+		t.Fatalf("timings = %d rows, want %d", len(res.Timings), len(All()))
+	}
+	for i, a := range All() {
+		if res.Timings[i].Analyzer != a.Name {
+			t.Errorf("timings[%d] = %q, want %q", i, res.Timings[i].Analyzer, a.Name)
+		}
 	}
 
 	// Diagnostics carry the DESIGN.md section the analyzer enforces so

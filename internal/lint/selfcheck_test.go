@@ -1,6 +1,87 @@
 package lint
 
-import "testing"
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzerSections pins every analyzer's Section to a heading that
+// actually exists in DESIGN.md: diagnostics cite the contract they
+// enforce, and a renumbered or deleted section must fail here rather
+// than leave the gate pointing at prose that no longer exists.
+func TestAnalyzerSections(t *testing.T) {
+	data, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	headings := make(map[string]bool)
+	for _, m := range regexp.MustCompile(`(?m)^## (\d+)\.`).FindAllStringSubmatch(string(data), -1) {
+		headings[m[1]] = true
+	}
+	if len(headings) == 0 {
+		t.Fatal("no '## N.' headings found in DESIGN.md")
+	}
+	secRE := regexp.MustCompile(`§(\d+)`)
+	sections := make(map[string]string, len(All())+1)
+	for _, a := range All() {
+		sections[a.Name] = a.Section
+	}
+	sections["lintdirective"] = directiveSection
+	for name, section := range sections {
+		if !strings.HasPrefix(section, "DESIGN.md §") {
+			t.Errorf("%s: Section %q does not cite DESIGN.md", name, section)
+			continue
+		}
+		refs := secRE.FindAllStringSubmatch(section, -1)
+		if len(refs) == 0 {
+			t.Errorf("%s: Section %q names no §N", name, section)
+		}
+		for _, m := range refs {
+			if !headings[m[1]] {
+				t.Errorf("%s: Section cites §%s but DESIGN.md has no '## %s.' heading", name, m[1], m[1])
+			}
+		}
+	}
+}
+
+// TestAnalyzerFixtureCoverage requires every analyzer's fixture to
+// exercise both sides of the suppression machinery: at least one
+// unsuppressed positive (the analyzer still catches its seeded
+// violations) and at least one //lint:allow-suppressed case (the
+// audited escape hatch keeps working for that analyzer's diagnostics).
+func TestAnalyzerFixtureCoverage(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := "testdata/" + a.Name
+			l := NewLoader()
+			pkg, err := l.LoadDir(dir, "fixture/"+a.Name, true)
+			if err != nil {
+				t.Fatalf("loading %s: %v", dir, err)
+			}
+			res := Run([]*Package{pkg}, []*Analyzer{a})
+			var pos, sup int
+			for _, f := range res.Findings {
+				if f.Analyzer != a.Name {
+					continue
+				}
+				if f.Suppressed {
+					sup++
+				} else {
+					pos++
+				}
+			}
+			if pos == 0 {
+				t.Errorf("%s: no unsuppressed positive case in %s", a.Name, dir)
+			}
+			if sup == 0 {
+				t.Errorf("%s: no //lint:allow-suppressed case in %s", a.Name, dir)
+			}
+		})
+	}
+}
 
 // TestRepoSelfCheck runs every analyzer over the whole module — the
 // same sweep as `go run ./cmd/pds-lint ./...` — and fails on any

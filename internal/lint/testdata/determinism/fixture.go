@@ -164,3 +164,10 @@ func pollSelect(a chan int) (int, bool) {
 		return 0, false
 	}
 }
+
+// The audited escape hatch: a justified //lint:allow silences the
+// finding at Run time while the raw diagnostic stays visible here.
+func throughputClock() int64 {
+	//lint:allow determinism wall-clock here measures harness throughput, never simulated behavior
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}

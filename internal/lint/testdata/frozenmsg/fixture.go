@@ -43,6 +43,79 @@ func mutateBloom(m *wire.Message, key string) {
 	fwd.Bloom.Add(key) // want "mutation of the shared wire.Query Bloom filter"
 }
 
+// --- v2: aliases, ranges, embedding, one call level ------------------
+
+// A slice pulled out of a frozen message still aliases its backing
+// array; the dataflow engine tracks the assignment.
+func mutateAlias(m *wire.Message) {
+	ids := m.Query.ChunkIDs
+	ids[0] = 9 // want "element write into ids, which aliases a frozen wire message section"
+}
+
+// Range over a frozen section: the value variable is a copy, but its
+// reference fields still point into the shared payload.
+func mutateRange(m *wire.Message) {
+	for _, b := range m.Response.Blobs {
+		b.Payload[0] = 0 // want "element write into b.Payload, which aliases a frozen wire message section"
+	}
+}
+
+// Range over a pointer-element buffer of published messages mutates
+// every one of them in place.
+func mutateRangePtr(msgs []*wire.Message) {
+	for _, e := range msgs {
+		e.NoAck = true // want "write to frozen wire.Message field NoAck"
+	}
+}
+
+// A wrapper embedding *wire.Message shares the published message; the
+// implicit traversal in w.TransmitID is still a frozen write.
+type tracked struct {
+	*wire.Message
+	hits int
+}
+
+func mutateEmbedded(w *tracked) {
+	w.hits++          // the wrapper's own field is private
+	w.TransmitID = 12 // want "write to frozen wire.Message field TransmitID through an embedded pointer"
+}
+
+// One call level: frozen data handed to a helper that writes through
+// its parameter (directly, or transitively via another helper).
+func scrub(ids []int) {
+	for i := range ids {
+		ids[i] = 0
+	}
+}
+
+func wipe(rs []wire.NodeID)    { rs[0] = 0 }
+func wipeAll(rs []wire.NodeID) { wipe(rs) }
+
+func mutateViaCall(m *wire.Message) {
+	scrub(m.Query.ChunkIDs) // want "passing m.Query.ChunkIDs, which aliases frozen wire message data, to scrub"
+}
+
+func mutateViaCallDeep(m *wire.Message) {
+	wipeAll(m.Query.Receivers) // want "passing m.Query.Receivers, which aliases frozen wire message data, to wipeAll"
+}
+
+// copy's destination mutates the shared backing array like append.
+func mutateCopy(m *wire.Message, src []int) {
+	copy(m.Query.ChunkIDs, src) // want "copy into frozen wire.Query.ChunkIDs"
+}
+
+// Overwriting the pointed-to struct wholesale is the bluntest mutation.
+func mutateStar(m *wire.Message) {
+	*m.Query = wire.Query{} // want "overwrites a frozen wire.Query in place"
+}
+
+// The audited escape hatch: a suppressed finding stays visible to
+// RunFixture (raw diagnostics) but Run() marks it suppressed.
+func stampModel(m *wire.Message) {
+	//lint:allow frozenmsg modeled link-layer stamp exercised by the self-check
+	m.From = 1 // want "write to frozen wire.Message field From"
+}
+
 // --- Non-findings ----------------------------------------------------
 
 // Building a fresh message is the phase-1 lifecycle; writes through a
@@ -77,4 +150,27 @@ func copyOut(m *wire.Message) []int {
 // Reading and the CoW helpers themselves are of course fine.
 func read(m *wire.Message, rs []wire.NodeID) (*wire.Message, int) {
 	return m.WithReceivers(rs), len(m.Query.ChunkIDs)
+}
+
+// A copied slice is owned, so mutating helpers may take it.
+func scrubOwned(m *wire.Message) []int {
+	ids := append([]int(nil), m.Query.ChunkIDs...)
+	scrub(ids)
+	return ids
+}
+
+// Builders may hand their own sections to mutating helpers too.
+func buildAndScrub() *wire.Query {
+	q := &wire.Query{ChunkIDs: []int{1, 2}}
+	scrub(q.ChunkIDs)
+	return q
+}
+
+// Reading through range variables never fires the alias rules.
+func sumBlobs(m *wire.Message) int {
+	n := 0
+	for _, b := range m.Response.Blobs {
+		n += len(b.Payload)
+	}
+	return n
 }

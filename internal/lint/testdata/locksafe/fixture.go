@@ -90,3 +90,12 @@ func (h *hub) recvLocked() int {
 	defer h.mu.Unlock()
 	return <-h.ch
 }
+
+// The audited escape hatch: a justified //lint:allow silences the
+// locked send at Run time; the raw diagnostic stays visible here.
+func (h *hub) sendAudited(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//lint:allow locksafe the channel is buffered deeper than any burst the fixture models
+	h.ch <- v // want "channel send while holding h.mu"
+}

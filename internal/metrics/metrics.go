@@ -510,9 +510,13 @@ type Pool struct {
 }
 
 // Add appends one sample.
+//
+//pds:hotpath
 func (p *Pool) Add(v float64) { p.vals = append(p.vals, v) }
 
 // AddDuration appends a duration sample in seconds.
+//
+//pds:hotpath
 func (p *Pool) AddDuration(d time.Duration) { p.Add(d.Seconds()) }
 
 // Merge appends every sample of the other pool.

@@ -32,8 +32,10 @@
 package radio
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -371,6 +373,8 @@ func (m *Medium) InRange(a, b wire.NodeID) bool {
 // satisfy a query of radius <= senseRange around p: the 3×3 cell block
 // around p's cell, or every attached radio in allPairs reference mode.
 // The result aliases m.cand and is invalidated by the next call.
+//
+//pds:hotpath
 func (m *Medium) candidates(p Pos) []*Radio {
 	m.cand = m.cand[:0]
 	if m.allPairs {
@@ -615,6 +619,8 @@ func (r *Radio) transmitIfClear() {
 
 // finishTransmission delivers a completed frame to every in-range node,
 // applying collision and random-loss rules, then prunes retired records.
+//
+//pds:hotpath
 func (m *Medium) finishTransmission(rec *txRecord, msg *wire.Message) {
 	m.active--
 	sender := rec.owner
@@ -627,7 +633,9 @@ func (m *Medium) finishTransmission(rec *txRecord, msg *wire.Message) {
 		// reserved for this loop because deliver callbacks may issue
 		// nested sense queries through m.cand.
 		cand := append(m.rxCand[:0], m.candidates(sender.pos)...)
-		sort.Slice(cand, func(i, j int) bool { return cand[i].id < cand[j].id })
+		// slices.SortFunc rather than sort.Slice: the sort.Interface shim
+		// boxes the slice into an interface on every delivery.
+		slices.SortFunc(cand, func(a, b *Radio) int { return cmp.Compare(a.id, b.id) })
 		for _, rx := range cand {
 			if rx == sender || rx.gone {
 				continue
@@ -691,6 +699,8 @@ func (m *Medium) finishTransmission(rec *txRecord, msg *wire.Message) {
 // transmission audible at rx was too strong for capture. With capture
 // enabled, the frame survives when its sender is decisively closer to
 // rx than every interferer, as a SINR receiver would decode it.
+//
+//pds:hotpath
 func (m *Medium) collided(rec *txRecord, rx *Radio, sender *Radio) bool {
 	dSig := sender.pos.Dist(rx.pos)
 	sr := m.senseRange()

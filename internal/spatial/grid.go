@@ -134,6 +134,8 @@ func (g *Grid) Move(id int32, x, y float64) {
 // dx, dy order and each cell's bucket in slice order, so the sequence
 // of callbacks is fully determined by the operation history. fn must
 // not mutate the grid.
+//
+//pds:hotpath
 func (g *Grid) VisitNeighborhood(x, y float64, fn func(id int32)) {
 	c := g.CellOf(x, y)
 	for dy := int32(-1); dy <= 1; dy++ {
@@ -149,6 +151,8 @@ func (g *Grid) VisitNeighborhood(x, y float64, fn func(id int32)) {
 // AppendNeighborhood appends the ids of the 3×3 cell block centered on
 // the cell containing (x, y) to dst and returns it — the allocation-free
 // form of VisitNeighborhood for hot query paths.
+//
+//pds:hotpath
 func (g *Grid) AppendNeighborhood(x, y float64, dst []int32) []int32 {
 	c := g.CellOf(x, y)
 	for dy := int32(-1); dy <= 1; dy++ {

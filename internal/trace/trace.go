@@ -307,6 +307,8 @@ func (t *Tracer) emit(node wire.NodeID, k Kind, msg, parent uint64, peer wire.No
 // --- Radio plane (the medium knows the node per call) ---------------
 
 // FrameTx records a transmission start with its size and airtime.
+//
+//pds:hotpath
 func (t *Tracer) FrameTx(node wire.NodeID, m *wire.Message, size int, airtime time.Duration) {
 	if t == nil {
 		return
@@ -316,6 +318,8 @@ func (t *Tracer) FrameTx(node wire.NodeID, m *wire.Message, size int, airtime ti
 
 // Frame records a per-receiver frame fate (FrameRx, FrameLost,
 // FrameCollision, FrameCorrupt, FrameDup) at node, from the sender.
+//
+//pds:hotpath
 func (t *Tracer) Frame(k Kind, node, from wire.NodeID, m *wire.Message) {
 	if t == nil {
 		return

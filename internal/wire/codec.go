@@ -23,6 +23,7 @@ const (
 	frameVersion = 0x01
 )
 
+//pds:hotpath
 func appendNodeIDs(dst []byte, ids []NodeID) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(ids)))
 	for _, id := range ids {
@@ -55,6 +56,7 @@ func decodeNodeIDs(src []byte) ([]NodeID, []byte, error) {
 	return ids, src, nil
 }
 
+//pds:hotpath
 func appendInts(dst []byte, xs []int) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(xs)))
 	for _, x := range xs {
@@ -96,6 +98,8 @@ func Encode(m *Message) ([]byte, error) {
 // the extended buffer. Transports that reuse a scratch buffer across
 // sends avoid the per-message allocation of Encode; EncodedSize gives
 // the exact number of bytes appended for pre-sizing.
+//
+//pds:hotpath
 func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 	dst = append(dst, frameMagic, frameVersion, byte(m.Type))
 	dst = binary.AppendUvarint(dst, m.TransmitID)
@@ -142,6 +146,7 @@ func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 	return dst, nil
 }
 
+//pds:hotpath
 func appendQuery(dst []byte, q *Query) []byte {
 	dst = binary.AppendUvarint(dst, q.ID)
 	dst = append(dst, byte(q.Kind))
@@ -163,6 +168,7 @@ func appendQuery(dst []byte, q *Query) []byte {
 	return dst
 }
 
+//pds:hotpath
 func appendResponse(dst []byte, r *Response) []byte {
 	dst = binary.AppendUvarint(dst, r.ID)
 	dst = append(dst, byte(r.Kind))
@@ -486,6 +492,8 @@ func varintLen(v int64) int {
 
 // EncodedSize returns len(Encode(m)) without serializing payload bytes.
 // The simulator charges airtime and the overhead metric from this.
+//
+//pds:hotpath
 func EncodedSize(m *Message) int {
 	n := 3 // magic, version, type
 	n += uvarintLen(m.TransmitID)
@@ -505,7 +513,7 @@ func EncodedSize(m *Message) int {
 		n += uvarintLen(uint64(q.Origin))
 		n += uvarintLen(uint64(q.Round))
 		n++ // hops left
-		n += len(q.Sel.AppendBinary(nil))
+		n += q.Sel.EncodedSize()
 		n += q.Item.EncodedSize()
 		n += uvarintLen(uint64(len(q.ChunkIDs)))
 		for _, c := range q.ChunkIDs {
